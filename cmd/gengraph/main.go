@@ -1,0 +1,63 @@
+// Command gengraph emits benchmark workloads in the edge-list format
+// consumed by nwdecomp.
+//
+// Usage:
+//
+//	gengraph -family forest-union -n 1000 -k 4 -seed 1 > g.txt
+//
+// Families: forest-union, simple-forest-union, tree, clique, grid,
+// line-multi, gnm, ba, hypercube, bipartite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+)
+
+func main() {
+	family := flag.String("family", "forest-union", "graph family")
+	n := flag.Int("n", 1000, "vertices (or side length for grid)")
+	k := flag.Int("k", 4, "family parameter (arboricity / degree / multiplicity)")
+	m := flag.Int("m", 0, "edges (gnm only; 0 = 2kn)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *family {
+	case "forest-union":
+		g = gen.ForestUnion(*n, *k, *seed)
+	case "simple-forest-union":
+		g = gen.SimpleForestUnion(*n, *k, *seed)
+	case "tree":
+		g = gen.RandomTree(*n, *seed)
+	case "clique":
+		g = gen.Clique(*n)
+	case "grid":
+		g = gen.Grid(*n, *n)
+	case "line-multi":
+		g = gen.LineMultigraph(*n, *k)
+	case "gnm":
+		mm := *m
+		if mm == 0 {
+			mm = 2 * *k * *n
+		}
+		g = gen.Gnm(*n, mm, *seed)
+	case "ba":
+		g = gen.BarabasiAlbert(*n, *k, *seed)
+	case "hypercube":
+		g = gen.Hypercube(*k)
+	case "bipartite":
+		g = gen.CompleteBipartite(*n, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if err := graph.Encode(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command nwbench regenerates the paper's tables and figures: it runs the
+// registered experiments (see internal/experiments and EXPERIMENTS.md) and
+// prints the measured tables.
+//
+// Usage:
+//
+//	nwbench -list
+//	nwbench -exp table1
+//	nwbench -exp all -scale 2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwforest/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name, or 'all'")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	seed := flag.Uint64("seed", 12345, "random seed")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry {
+			fmt.Printf("%-12s %s\n", r.Name, r.Desc)
+		}
+		return
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.Registry
+	} else {
+		r := experiments.Find(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "nwbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{*r}
+	}
+	failed := false
+	for _, r := range runners {
+		tab, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nwbench: %s: %v\n", r.Name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab.Format())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+package nwforest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nwforest"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+)
+
+// TestDecomposeAcrossFamilies sweeps the main decomposition over every
+// workload family, validating the output and the color budget each time.
+func TestDecomposeAcrossFamilies(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *nwforest.Graph
+		alpha int
+	}{
+		{"forest-union", gen.ForestUnion(300, 4, 1), 4},
+		{"simple-forest-union", gen.SimpleForestUnion(300, 4, 2), 5},
+		{"line-multigraph", gen.LineMultigraph(150, 4), 4},
+		{"doubled-grid", gen.MultiplyEdges(gen.Grid(12, 12), 2), 4},
+		{"gnm", gen.Gnm(250, 700, 3), 4},
+		{"barabasi-albert", gen.BarabasiAlbert(300, 4, 4), 4},
+		{"hypercube", gen.Hypercube(8), 5},
+		{"tree", gen.RandomTree(400, 5), 1},
+		{"clique", gen.Clique(13), 7},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Cross-check the declared alpha bound against ground truth.
+			exactAlpha, _ := nwforest.Arboricity(tc.g)
+			if exactAlpha > tc.alpha {
+				t.Fatalf("test case mislabeled: exact alpha %d > declared %d", exactAlpha, tc.alpha)
+			}
+			d, err := nwforest.Decompose(tc.g, nwforest.Options{Alpha: tc.alpha, Eps: 0.5, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nwforest.Verify(tc.g, d.Colors, d.NumForests); err != nil {
+				t.Fatal(err)
+			}
+			// Color budget: (1+eps)alpha plus the documented additive slack.
+			budget := int(1.5*float64(tc.alpha)) + 6
+			if d.NumForests > budget {
+				t.Fatalf("%d forests exceeds budget %d (alpha=%d)", d.NumForests, budget, tc.alpha)
+			}
+		})
+	}
+}
+
+// TestDecomposePseudo checks the pseudo-forest pipeline end to end.
+func TestDecomposePseudo(t *testing.T) {
+	g := gen.ForestUnion(250, 5, 9)
+	d, err := nwforest.DecomposePseudo(g, nwforest.Options{Alpha: 5, Eps: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumForests > 11 {
+		t.Fatalf("pseudo-forests = %d, want <= 11", d.NumForests)
+	}
+}
+
+// TestEstimateAlpha checks the distributed estimator sandwich: at least
+// the exact arboricity (it upper-bounds degeneracy >= ... >= nothing
+// below alpha is returned) and at most ~5x the pseudo-arboricity.
+func TestEstimateAlpha(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *nwforest.Graph
+	}{
+		{"forest-union", gen.ForestUnion(300, 4, 11)},
+		{"clique", gen.Clique(12)},
+		{"grid", gen.Grid(15, 15)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			est, rounds, err := nwforest.EstimateAlpha(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alpha, _ := nwforest.Arboricity(tc.g)
+			alphaStar := nwforest.PseudoArboricity(tc.g)
+			if est < alpha {
+				t.Fatalf("estimate %d below exact arboricity %d", est, alpha)
+			}
+			if est > 6*alphaStar+2 {
+				t.Fatalf("estimate %d too loose (alpha*=%d)", est, alphaStar)
+			}
+			if rounds == 0 && tc.g.M() > 0 {
+				t.Fatal("no rounds reported")
+			}
+		})
+	}
+}
+
+// TestEstimateThenDecompose is the no-prior-knowledge pipeline: estimate
+// alpha distributedly, then decompose with the estimate.
+func TestEstimateThenDecompose(t *testing.T) {
+	g := gen.Gnm(300, 1200, 13)
+	est, _, err := nwforest.EstimateAlpha(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := nwforest.Decompose(g, nwforest.Options{Alpha: est, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nwforest.Verify(g, d.Colors, d.NumForests); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeDisconnectedAndDegenerate exercises edge-case inputs.
+func TestDecomposeDisconnectedAndDegenerate(t *testing.T) {
+	// Two components with very different densities.
+	var edges []graph.Edge
+	k10 := gen.Clique(10)
+	edges = append(edges, k10.Edges()...)
+	for i := 0; i < 20; i++ {
+		edges = append(edges, graph.E(int32(10+i), int32(10+i+1)))
+	}
+	g := graph.MustNew(31, edges)
+	alpha, _ := nwforest.Arboricity(g)
+	d, err := nwforest.Decompose(g, nwforest.Options{Alpha: alpha, Eps: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nwforest.Verify(g, d.Colors, d.NumForests); err != nil {
+		t.Fatal(err)
+	}
+	// Isolated vertices only.
+	iso := graph.MustNew(7, nil)
+	if _, err := nwforest.Decompose(iso, nwforest.Options{Alpha: 1, Eps: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundsScaleWithEps checks the linear 1/eps dependence at the
+// public-API level: halving eps should not much more than double rounds.
+func TestRoundsScaleWithEps(t *testing.T) {
+	g := gen.ForestUnion(400, 4, 17)
+	var prev int
+	for _, eps := range []float64{1.0, 0.5, 0.25} {
+		d, err := nwforest.Decompose(g, nwforest.Options{Alpha: 4, Eps: eps, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && d.Rounds > 4*prev {
+			t.Fatalf("rounds jumped from %d to %d when halving eps", prev, d.Rounds)
+		}
+		prev = d.Rounds
+	}
+}
+
+// TestSeedsProduceDifferentButValidRuns is a light randomness check.
+func TestSeedsProduceDifferentButValidRuns(t *testing.T) {
+	g := gen.ForestUnion(200, 3, 19)
+	colorings := map[string]bool{}
+	for seed := uint64(0); seed < 3; seed++ {
+		d, err := nwforest.Decompose(g, nwforest.Options{Alpha: 3, Eps: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nwforest.Verify(g, d.Colors, d.NumForests); err != nil {
+			t.Fatal(err)
+		}
+		colorings[fmt.Sprint(d.Colors)] = true
+	}
+	if len(colorings) < 2 {
+		t.Log("warning: different seeds produced identical colorings (possible but unlikely)")
+	}
+}
+
+// TestNeverBelowOptimal asserts the Nash-Williams floor: no valid
+// decomposition can use fewer than the exact arboricity many forests, so
+// our NumForests must always be >= it.
+func TestNeverBelowOptimal(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := gen.Gnm(120, 360, seed)
+		alpha, _ := nwforest.Arboricity(g)
+		d, err := nwforest.Decompose(g, nwforest.Options{Alpha: alpha, Eps: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumForests < alpha {
+			t.Fatalf("impossible: %d forests below arboricity %d", d.NumForests, alpha)
+		}
+	}
+}
+
+// TestAlphaBoundSlack checks robustness to an over-estimated Alpha: the
+// algorithm must still emit a valid decomposition (just with more colors).
+func TestAlphaBoundSlack(t *testing.T) {
+	g := gen.ForestUnion(200, 3, 23)
+	d, err := nwforest.Decompose(g, nwforest.Options{Alpha: 9, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nwforest.Verify(g, d.Colors, d.NumForests); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/forest"
+	"nwforest/internal/graph"
+	"nwforest/internal/hpartition"
+	"nwforest/internal/netdecomp"
+	"nwforest/internal/rng"
+	"nwforest/internal/verify"
+)
+
+// Algo2Options configures Algorithm 2 (the network-decomposition driven
+// local augmentation of Section 4).
+type Algo2Options struct {
+	// Palettes gives the usable colors of every edge; for plain forest
+	// decomposition use ceil((1+eps)*alpha) shared colors.
+	Palettes [][]int32
+	// Alpha is the globally known arboricity bound.
+	Alpha int
+	// Eps is the excess-color parameter epsilon.
+	Eps float64
+	// Rule selects the CUT implementation; default CutModDepth.
+	Rule CutRule
+	// Seed drives all randomness.
+	Seed uint64
+	// RPrime and R override the radii R' and R (0 = auto from Eps, n).
+	RPrime, R int
+	// MaxVisited caps the edges explored per augmenting search
+	// (0 = 4 * m_local bound chosen automatically).
+	MaxVisited int
+	// SampleP overrides the deletion probability of CutSampled (0 = auto).
+	SampleP float64
+}
+
+// Algo2Stats instruments a run for the experiment harness.
+type Algo2Stats struct {
+	R, RPrime    int
+	Unit         int
+	Classes      int
+	Clusters     int
+	Augmented    int
+	AugmentFail  int
+	RemovedByCut int
+	MaxSeqLen    int
+	MaxSeqRadius int
+	SumSeqLen    int
+}
+
+// Algo2Result is the outcome of Algorithm 2: a partial list forest
+// decomposition (the colored edges form forests per color) plus the
+// leftover edges that were removed by CUT or failed augmentation; the
+// leftover subgraph is recolored with reserve colors by the callers
+// (Theorem 4.6 / 4.10).
+type Algo2Result struct {
+	State    *forest.State
+	Leftover []int32
+	Stats    Algo2Stats
+}
+
+// autoRadii picks practical radii: the paper uses R' = Theta(log n / eps)
+// (Theorem 3.2) and R per Theorem 4.2; the constants below keep the balls
+// meaningfully local at benchmark sizes while failures (which the theory
+// excludes at its own constants) fall back to the leftover set.
+func autoRadii(n int, eps float64) (rPrime, r int) {
+	ln := math.Log(float64(n + 2))
+	rPrime = int(math.Ceil(ln / eps))
+	if rPrime < 2 {
+		rPrime = 2
+	}
+	r = 2*int(math.Ceil(ln/eps)) + 2
+	if r < 6 {
+		r = 6
+	}
+	return rPrime, r
+}
+
+// RunAlgorithm2 executes Algorithm 2 of the paper: a Linial-Saks network
+// decomposition of the power graph G^{2(R+R')} schedules the clusters in
+// O(log n) classes; each cluster first CUTs the monochromatic paths in
+// its annulus, then colors its incident uncolored edges by local
+// augmenting sequences. Rounds are charged to cost.
+func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Result, error) {
+	if len(opts.Palettes) != g.M() {
+		return nil, fmt.Errorf("core: %d palettes for %d edges", len(opts.Palettes), g.M())
+	}
+	if opts.Rule == 0 {
+		opts.Rule = CutModDepth
+	}
+	rPrime, r := opts.RPrime, opts.R
+	if rPrime == 0 || r == 0 {
+		autoRP, autoR := autoRadii(g.N(), opts.Eps)
+		if rPrime == 0 {
+			rPrime = autoRP
+		}
+		if r == 0 {
+			r = autoR
+		}
+	}
+	unit := 2 * (r + rPrime)
+	src := rng.New(opts.Seed)
+
+	st := forest.New(g)
+	res := &Algo2Result{State: st}
+	res.Stats.R, res.Stats.RPrime, res.Stats.Unit = r, rPrime, unit
+	if g.M() == 0 {
+		return res, nil
+	}
+
+	nd, err := netdecomp.Decompose(g, unit, src.Split(1).Uint64(), cost)
+	if err != nil {
+		return nil, fmt.Errorf("core: network decomposition: %w", err)
+	}
+	res.Stats.Classes = nd.NumClasses
+
+	// CutSampled needs a global 3α-orientation and load counters.
+	var sampler *sampleCutState
+	if opts.Rule == CutSampled {
+		thr := 3 * opts.Alpha
+		if thr < 2 {
+			thr = 2
+		}
+		hp, err := hpartition.Partition(g, thr, 8*g.N()+16, cost)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample-cut orientation: %w", err)
+		}
+		o := hpartition.AcyclicOrientation(g, hp, cost)
+		loadCap := opts.Alpha
+		if loadCap < 1 {
+			loadCap = 1
+		}
+		p := opts.SampleP
+		if p == 0 {
+			// Proposition 4.3 with eta = 1/2: p = K*alpha*log(n) / (eta*R).
+			p = float64(opts.Alpha) * math.Log(float64(g.N()+2)) / (0.5 * float64(r))
+		}
+		if p > 1 {
+			p = 1
+		}
+		sampler = newSampleCutState(hpartition.OutEdges(g, o), loadCap, p)
+	}
+
+	maxVisited := opts.MaxVisited
+	if maxVisited == 0 {
+		maxVisited = 4 * g.M()
+	}
+
+	processed := make([]bool, g.M())
+	removed := make([]bool, g.M())
+	logN := int(math.Ceil(math.Log2(float64(g.N() + 2))))
+
+	for class := int32(0); class < int32(nd.NumClasses); class++ {
+		clusters := nd.Clusters(class)
+		centers := make([]int32, 0, len(clusters))
+		for center := range clusters {
+			centers = append(centers, center)
+		}
+		sortInt32(centers) // deterministic processing order
+		for _, center := range centers {
+			members := clusters[center]
+			res.Stats.Clusters++
+			inner := ballSet(g, members, rPrime)
+			outer := ballSet(g, members, r+rPrime)
+			inInner := func(v int32) bool { return inner[v] }
+			inOuter := func(v int32) bool { return outer[v] }
+
+			// CUT the annulus (Theorem 4.2).
+			annulus := make([]int32, 0)
+			for v := range outer {
+				if !inner[v] {
+					annulus = append(annulus, v)
+				}
+			}
+			sortInt32(annulus)
+			var cut []int32
+			switch opts.Rule {
+			case CutModDepth:
+				cut = cutModDepth(st, annulus, inInner, r, src.Split(uint64(center)+7))
+			case CutSampled:
+				cut = sampler.cut(st, annulus, src.Split(uint64(center)+7))
+			default:
+				return nil, fmt.Errorf("core: unknown cut rule %d", opts.Rule)
+			}
+			for _, id := range cut {
+				if !removed[id] {
+					removed[id] = true
+					res.Leftover = append(res.Leftover, id)
+					res.Stats.RemovedByCut++
+				}
+			}
+
+			// Color the uncolored edges incident to the cluster by local
+			// augmentation (lines 6-7 of Algorithm 2).
+			for _, v := range members {
+				for _, a := range g.Adj(v) {
+					id := a.Edge
+					if processed[id] || removed[id] {
+						continue
+					}
+					processed[id] = true
+					if st.Color(id) != verify.Uncolored {
+						continue
+					}
+					seq, stats := FindAugmenting(st, opts.Palettes, id, inInner, inOuter, maxVisited)
+					if seq == nil {
+						removed[id] = true
+						res.Leftover = append(res.Leftover, id)
+						res.Stats.AugmentFail++
+						continue
+					}
+					Apply(st, seq)
+					res.Stats.Augmented++
+					res.Stats.SumSeqLen += stats.Length
+					if stats.Length > res.Stats.MaxSeqLen {
+						res.Stats.MaxSeqLen = stats.Length
+					}
+					if stats.Radius > res.Stats.MaxSeqRadius {
+						res.Stats.MaxSeqRadius = stats.Radius
+					}
+				}
+			}
+		}
+		// All clusters of a class run in parallel; the class costs the
+		// weak-diameter simulation bound O((R+R') log n).
+		cost.Charge(2*(r+rPrime)*logN, "core/algorithm2-class")
+	}
+	return res, nil
+}
+
+// ballSet returns the set of vertices within distance rad of the sources.
+func ballSet(g *graph.Graph, sources []int32, rad int) map[int32]bool {
+	out := make(map[int32]bool)
+	g.BFS(sources, rad, func(v int32, _ int) { out[v] = true })
+	return out
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,195 @@
+// Package core implements the paper's primary contribution: local
+// augmenting sequences for list forest decomposition (Section 3), the CUT
+// load-balancing procedures (Section 4.1), the network-decomposition
+// driven Algorithm 2 (Section 4), diameter reduction (Proposition 2.4),
+// vertex-color-splitting (Theorem 4.9), and the star-forest
+// decompositions of Section 5 and Theorem 2.3.
+package core
+
+import (
+	"fmt"
+
+	"nwforest/internal/forest"
+	"nwforest/internal/verify"
+)
+
+// Step is one element (e_i, c_i) of an augmenting sequence.
+type Step struct {
+	Edge  int32
+	Color int32
+}
+
+// Sequence is an augmenting sequence w.r.t. a partial list forest
+// decomposition: its first edge is uncolored, each subsequent edge lies on
+// the monochromatic path closed by recoloring its predecessor, and the
+// last recoloring closes no path (conditions (A1)-(A5) of the paper).
+type Sequence []Step
+
+// SearchStats instruments FindAugmenting for the Figure 1 / Figure 2
+// experiments.
+type SearchStats struct {
+	// GrowthSizes[i] is |E_i|, the size of the explored edge set after
+	// iteration i of Algorithm 1 (frontier expansions).
+	GrowthSizes []int
+	// Length is the length of the returned sequence (0 if none).
+	Length int
+	// Radius is the maximum hop distance from the start edge to any edge
+	// of the returned sequence.
+	Radius int
+	// Visited is the number of distinct edges explored.
+	Visited int
+}
+
+// searchNode records how an edge entered the search: it lies on
+// C(parentEdge, color), where color is also the edge's current color.
+type searchNode struct {
+	parentEdge int32 // -1 for the start edge
+	color      int32
+}
+
+// FindAugmenting runs Algorithm 1 from the uncolored edge start: a BFS
+// over edges where exploring edge x with candidate color c follows the
+// monochromatic path C(x, c). It terminates when some (x, c) has
+// C(x, c) = empty, yielding an almost augmenting sequence, which is then
+// short-circuited (Proposition 3.4) into an augmenting sequence.
+//
+//   - palettes[e] lists the usable colors of edge e (condition (A5));
+//   - withinSearch bounds the region whose edges may join the sequence
+//     (N^{R'}(e) in Theorem 3.2); nil means unbounded;
+//   - withinPath bounds the region monochromatic paths may traverse
+//     (C” in Algorithm 2); nil means unbounded;
+//   - maxVisited caps the explored edge count (0 = no cap).
+//
+// It returns nil if no augmenting sequence was found under these bounds.
+func FindAugmenting(st *forest.State, palettes [][]int32, start int32,
+	withinSearch, withinPath func(int32) bool, maxVisited int) (Sequence, SearchStats) {
+
+	var stats SearchStats
+	if st.Color(start) != verify.Uncolored {
+		panic(fmt.Sprintf("core: FindAugmenting from colored edge %d", start))
+	}
+	g := st.Graph()
+	via := map[int32]searchNode{start: {parentEdge: -1, color: -1}}
+	queue := []int32{start}
+	frontierEnd := len(queue) // boundary of the current BFS layer, for stats
+
+	for head := 0; head < len(queue); head++ {
+		if head == frontierEnd {
+			stats.GrowthSizes = append(stats.GrowthSizes, len(queue))
+			frontierEnd = len(queue)
+		}
+		x := queue[head]
+		e := g.Edge(x)
+		cur := st.Color(x)
+		for _, c := range palettes[x] {
+			if c == cur {
+				continue
+			}
+			path := st.PathInColor(c, e.U, e.V, withinPath)
+			if path == nil {
+				// Almost augmenting sequence found; backtrack the chain.
+				seq := backtrack(via, x, c)
+				seq = shortCircuit(st, seq, withinPath)
+				stats.Visited = len(via)
+				stats.Length = len(seq)
+				stats.Radius = seqRadius(st, seq)
+				return seq, stats
+			}
+			for _, y := range path {
+				if _, seen := via[y]; seen {
+					continue
+				}
+				ye := g.Edge(y)
+				if withinSearch != nil && !(withinSearch(ye.U) && withinSearch(ye.V)) {
+					continue
+				}
+				via[y] = searchNode{parentEdge: x, color: c}
+				queue = append(queue, y)
+			}
+		}
+		if maxVisited > 0 && len(via) > maxVisited {
+			break
+		}
+	}
+	stats.Visited = len(via)
+	return nil, stats
+}
+
+// backtrack reconstructs the almost augmenting sequence ending at edge
+// last, which takes color c.
+func backtrack(via map[int32]searchNode, last, c int32) Sequence {
+	var rev Sequence
+	rev = append(rev, Step{Edge: last, Color: c})
+	for cur := last; ; {
+		node := via[cur]
+		if node.parentEdge < 0 {
+			break
+		}
+		// The parent takes the color whose path contained cur.
+		rev = append(rev, Step{Edge: node.parentEdge, Color: node.color})
+		cur = node.parentEdge
+	}
+	// Reverse into e_1 ... e_l order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// shortCircuit enforces condition (A3): while some e_i lies on C(e_j, c_j)
+// with j < i-1, splice out the intermediate steps (Proposition 3.4).
+func shortCircuit(st *forest.State, seq Sequence, withinPath func(int32) bool) Sequence {
+	g := st.Graph()
+	for changed := true; changed; {
+		changed = false
+	scan:
+		for j := 0; j+2 < len(seq); j++ {
+			e := g.Edge(seq[j].Edge)
+			path := st.PathInColor(seq[j].Color, e.U, e.V, withinPath)
+			onPath := make(map[int32]struct{}, len(path))
+			for _, id := range path {
+				onPath[id] = struct{}{}
+			}
+			for i := len(seq) - 1; i > j+1; i-- {
+				if _, hit := onPath[seq[i].Edge]; hit {
+					spliced := append(Sequence{}, seq[:j+1]...)
+					seq = append(spliced, seq[i:]...)
+					changed = true
+					break scan
+				}
+			}
+		}
+	}
+	return seq
+}
+
+// seqRadius returns the maximum hop distance from the start edge to any
+// sequence edge (Theorem 3.2's containment radius).
+func seqRadius(st *forest.State, seq Sequence) int {
+	if len(seq) <= 1 {
+		return 0
+	}
+	g := st.Graph()
+	e0 := g.Edge(seq[0].Edge)
+	dist := map[int32]int{}
+	g.BFS([]int32{e0.U, e0.V}, -1, func(v int32, d int) { dist[v] = d })
+	maxR := 0
+	for _, s := range seq[1:] {
+		e := g.Edge(s.Edge)
+		for _, v := range [2]int32{e.U, e.V} {
+			if d, ok := dist[v]; ok && d > maxR {
+				maxR = d
+			}
+		}
+	}
+	return maxR
+}
+
+// Apply performs the augmentation: every sequence edge takes its sequence
+// color (Lemma 3.1 proves the result remains a partial list forest
+// decomposition).
+func Apply(st *forest.State, seq Sequence) {
+	for _, s := range seq {
+		st.SetColor(s.Edge, s.Color)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/graph"
+	"nwforest/internal/orient"
+	"nwforest/internal/verify"
+)
+
+// LFDOptions configures the list forest decomposition of Theorem 4.10.
+type LFDOptions struct {
+	// Palettes gives every edge its color list; sizes should be at least
+	// ceil((1+Eps)*Alpha).
+	Palettes [][]int32
+	// Alpha is the globally known arboricity bound.
+	Alpha int
+	// Eps is the excess parameter.
+	Eps float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Split selects the vertex-color-splitting variant (default
+	// SplitByClustering, Theorem 4.9(1)).
+	Split SplitVariant
+	// ReserveProb overrides the splitting probability (see SplitOptions).
+	ReserveProb float64
+	// Rule selects the CUT rule for the main phase.
+	Rule CutRule
+	// Retries bounds the number of fresh seeds tried (default 3).
+	Retries int
+}
+
+// LFDResult is a complete list forest decomposition.
+type LFDResult struct {
+	Colors []int32
+	// ColorsUsed counts the distinct colors appearing (list colors are
+	// arbitrary values, so there is no contiguous color count).
+	ColorsUsed int
+	// LeftoverEdges counts edges colored from the reserve palettes.
+	LeftoverEdges int
+	Stats         Algo2Stats
+}
+
+// ListForestDecomposition computes a list forest decomposition using each
+// edge's own palette (Theorem 4.10): split every vertex's colors into a
+// main and a reserve side (Theorem 4.9), color the bulk by Algorithm 2
+// over the main palettes, and finish the leftover with the reserve
+// palettes via the (4+eps)-LSFD of Theorem 2.3. Proposition 4.8 glues the
+// two colorings: a color class never mixes main and reserve edges at any
+// vertex, so the union stays a forest per color.
+func ListForestDecomposition(g *graph.Graph, opts LFDOptions, cost *dist.Cost) (*LFDResult, error) {
+	if opts.Alpha < 1 {
+		return nil, fmt.Errorf("core: Alpha must be >= 1, got %d", opts.Alpha)
+	}
+	if opts.Eps <= 0 || opts.Eps > 1 {
+		return nil, fmt.Errorf("core: Eps must be in (0,1], got %v", opts.Eps)
+	}
+	if len(opts.Palettes) != g.M() {
+		return nil, fmt.Errorf("core: %d palettes for %d edges", len(opts.Palettes), g.M())
+	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = 3
+	}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		res, err := listFDOnce(g, opts, opts.Seed+uint64(attempt)*1000003, cost)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: all %d attempts failed: %w", retries, lastErr)
+}
+
+func listFDOnce(g *graph.Graph, opts LFDOptions, seed uint64, cost *dist.Cost) (*LFDResult, error) {
+	if g.M() == 0 {
+		return &LFDResult{Colors: []int32{}}, nil
+	}
+	split, err := SplitColors(g, opts.Palettes, SplitOptions{
+		Variant:     opts.Split,
+		ReserveProb: opts.ReserveProb,
+		Eps:         opts.Eps,
+		Alpha:       opts.Alpha,
+		Seed:        seed + 17,
+	}, cost)
+	if err != nil {
+		return nil, err
+	}
+	q0 := split.InducedPalettes(g, opts.Palettes, 0)
+	q1 := split.InducedPalettes(g, opts.Palettes, 1)
+
+	a2, err := RunAlgorithm2(g, Algo2Options{
+		Palettes: q0,
+		Alpha:    opts.Alpha,
+		Eps:      opts.Eps,
+		Rule:     opts.Rule,
+		Seed:     seed + 29,
+	}, cost)
+	if err != nil {
+		return nil, err
+	}
+	colors := a2.State.Colors()
+	if err := verify.PartialForestDecomposition(g, colors, 1<<30); err != nil {
+		return nil, fmt.Errorf("core: list augmentation phase invalid: %w", err)
+	}
+
+	res := &LFDResult{Colors: colors, LeftoverEdges: len(a2.Leftover), Stats: a2.Stats}
+	if len(a2.Leftover) > 0 {
+		// Recolor the leftover with the reserve palettes via Theorem 2.3.
+		sub, emap := g.SubgraphOfEdges(a2.Leftover)
+		subPalettes := make([][]int32, sub.M())
+		for subID := range subPalettes {
+			subPalettes[subID] = q1[emap[subID]]
+		}
+		// The leftover pseudo-arboricity is bounded by the CUT rule's load
+		// target; measure it exactly on the (small) leftover subgraph to
+		// pick the LSFD threshold.
+		alphaStarLeft := orient.PseudoArboricity(sub)
+		if alphaStarLeft < 1 {
+			alphaStarLeft = 1
+		}
+		cost.Charge(int(math.Ceil(math.Log2(float64(g.N()+2)))), "core/leftover-measure")
+		subColors, err := ListStarForest24(sub, subPalettes, alphaStarLeft, opts.Eps, cost)
+		if err != nil {
+			return nil, fmt.Errorf("core: leftover LSFD: %w", err)
+		}
+		for subID, c := range subColors {
+			colors[emap[subID]] = c
+		}
+	}
+	if err := verify.RespectsPalettes(colors, opts.Palettes); err != nil {
+		return nil, fmt.Errorf("core: list decomposition violates palettes: %w", err)
+	}
+	if err := verify.PartialForestDecomposition(g, colors, 1<<30); err != nil {
+		return nil, fmt.Errorf("core: combined list decomposition invalid: %w", err)
+	}
+	for id, c := range colors {
+		if c == verify.Uncolored {
+			return nil, fmt.Errorf("core: edge %d left uncolored", id)
+		}
+	}
+	res.ColorsUsed = verify.ColorsUsed(colors)
+	return res, nil
+}

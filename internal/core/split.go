@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/graph"
+	"nwforest/internal/lll"
+	"nwforest/internal/netdecomp"
+	"nwforest/internal/rng"
+)
+
+// ColorSplit is a vertex-color-splitting (Definition 4.7): every vertex
+// partitions the color space into a main side C_{v,0} and a reserve side
+// C_{v,1}; an edge may use color c on side i only if both endpoints put c
+// on side i.
+type ColorSplit struct {
+	// reserve[v] holds the colors in C_{v,1}; all others are in C_{v,0}.
+	reserve []map[int32]struct{}
+}
+
+// Side returns 0 if color c is on vertex v's main side, 1 otherwise.
+func (cs *ColorSplit) Side(v, c int32) int {
+	if _, yes := cs.reserve[v][c]; yes {
+		return 1
+	}
+	return 0
+}
+
+// InducedPalettes returns Q_i(uv) = Q(uv) ∩ C_{u,i} ∩ C_{v,i} for every
+// edge (Definition 4.7).
+func (cs *ColorSplit) InducedPalettes(g *graph.Graph, palettes [][]int32, side int) [][]int32 {
+	out := make([][]int32, g.M())
+	for id, q := range palettes {
+		e := g.Edge(int32(id))
+		for _, c := range q {
+			if cs.Side(e.U, c) == side && cs.Side(e.V, c) == side {
+				out[id] = append(out[id], c)
+			}
+		}
+	}
+	return out
+}
+
+// SplitVariant selects the construction of Theorem 4.9.
+type SplitVariant int
+
+const (
+	// SplitByClustering is Theorem 4.9(1): one partial network
+	// decomposition per color; whole clusters flip a shared coin, so both
+	// endpoints of an uncut edge always agree. Needs alpha >= Omega(log n).
+	SplitByClustering SplitVariant = iota + 1
+	// SplitByLLL is Theorem 4.9(2): fully independent per-(vertex, color)
+	// coins, fixed up by the Lovász Local Lemma. Needs eps^2*alpha >=
+	// Omega(log Delta).
+	SplitByLLL
+)
+
+// SplitOptions configures SplitColors.
+type SplitOptions struct {
+	Variant SplitVariant
+	// ReserveProb is the probability a color lands on the reserve side
+	// (the paper uses eps/10; 0 = auto, which raises it to 10/alpha when
+	// eps*alpha is too small for the reserve palettes to be useful at
+	// benchmark sizes).
+	ReserveProb float64
+	Eps         float64
+	Alpha       int
+	Seed        uint64
+	// MinMain and MinReserve are the k0/k1 targets validated after the
+	// split; 0 disables the check (callers inspect palettes themselves).
+	MinMain, MinReserve int
+}
+
+// SplitColors computes a vertex-color-splitting of the given palettes
+// (Theorem 4.9). The returned split guarantees, w.h.p. (variant 1) or via
+// LLL fix-up (variant 2), that the induced palettes keep k0 >= MinMain
+// and k1 >= MinReserve colors per edge.
+func SplitColors(g *graph.Graph, palettes [][]int32, opts SplitOptions, cost *dist.Cost) (*ColorSplit, error) {
+	if opts.Variant == 0 {
+		opts.Variant = SplitByClustering
+	}
+	q := opts.ReserveProb
+	if q == 0 {
+		q = opts.Eps / 10
+		if opts.Alpha > 0 && q < 10/float64(opts.Alpha) {
+			q = math.Min(0.3, 10/float64(opts.Alpha))
+		}
+	}
+	colorSpace := collectColors(palettes)
+	cs := &ColorSplit{reserve: make([]map[int32]struct{}, g.N())}
+	for v := range cs.reserve {
+		cs.reserve[v] = make(map[int32]struct{})
+	}
+	src := rng.New(opts.Seed)
+
+	switch opts.Variant {
+	case SplitByClustering:
+		// One independent MPX clustering per color; every cluster flips one
+		// coin for all its vertices (all colors run in parallel: charge max).
+		beta := opts.Eps / 10
+		if beta <= 0 || beta > 0.5 {
+			beta = 0.1
+		}
+		var sub dist.Cost
+		for _, c := range colorSpace {
+			center := netdecomp.Partial(g, beta, src.Split(uint64(c)).Uint64(), &sub)
+			coin := src.Split(uint64(c) + 1<<32)
+			flips := make(map[int32]bool)
+			for v := 0; v < g.N(); v++ {
+				cl := center[v]
+				flip, done := flips[cl]
+				if !done {
+					flip = coin.Split(uint64(cl)).Bernoulli(q)
+					flips[cl] = flip
+				}
+				if flip {
+					cs.reserve[v][c] = struct{}{}
+				}
+			}
+		}
+		cost.ChargeMax(sub.Rounds()/maxInt(1, len(colorSpace)), "core/split-clustering")
+	case SplitByLLL:
+		// Independent coins per (vertex, color), then LLL repair: the bad
+		// event at edge e is an induced palette below target.
+		draw := func(v int32) {
+			vs := src.Split(uint64(v) * 2654435761)
+			clear(cs.reserve[v])
+			for _, c := range colorSpace {
+				if vs.Split(uint64(c)).Bernoulli(q) {
+					cs.reserve[v][c] = struct{}{}
+				}
+			}
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			draw(v)
+		}
+		if opts.MinMain > 0 || opts.MinReserve > 0 {
+			resampleCount := make([]int, g.N())
+			inst := lll.Instance{
+				NumEvents: g.M(),
+				Vars: func(i int) []int32 {
+					e := g.Edge(int32(i))
+					return []int32{e.U, e.V}
+				},
+				Bad: func(i int) bool {
+					k0, k1 := cs.paletteSizes(g, palettes, int32(i))
+					return k0 < opts.MinMain || k1 < opts.MinReserve
+				},
+				Resample: func(v int32) {
+					resampleCount[v]++
+					// Re-seed per resample for fresh coins.
+					vs := src.Split(uint64(v)*2654435761 + uint64(resampleCount[v])<<40)
+					clear(cs.reserve[v])
+					for _, c := range colorSpace {
+						if vs.Split(uint64(c)).Bernoulli(q) {
+							cs.reserve[v][c] = struct{}{}
+						}
+					}
+				},
+			}
+			if _, err := lll.Solve(inst, 40*g.N()+100, cost); err != nil {
+				return nil, fmt.Errorf("core: split LLL did not converge: %w", err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown split variant %d", opts.Variant)
+	}
+
+	if opts.MinMain > 0 || opts.MinReserve > 0 {
+		for id := int32(0); int(id) < g.M(); id++ {
+			k0, k1 := cs.paletteSizes(g, palettes, id)
+			if k0 < opts.MinMain || k1 < opts.MinReserve {
+				return nil, fmt.Errorf("core: split failed at edge %d: k0=%d (need %d), k1=%d (need %d)",
+					id, k0, opts.MinMain, k1, opts.MinReserve)
+			}
+		}
+	}
+	cost.Charge(1, "core/split-finalize")
+	return cs, nil
+}
+
+// paletteSizes returns |Q_0(e)| and |Q_1(e)| for edge id.
+func (cs *ColorSplit) paletteSizes(g *graph.Graph, palettes [][]int32, id int32) (k0, k1 int) {
+	e := g.Edge(id)
+	for _, c := range palettes[id] {
+		su, sv := cs.Side(e.U, c), cs.Side(e.V, c)
+		switch {
+		case su == 0 && sv == 0:
+			k0++
+		case su == 1 && sv == 1:
+			k1++
+		}
+	}
+	return k0, k1
+}
+
+func collectColors(palettes [][]int32) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, q := range palettes {
+		for _, c := range q {
+			if _, dup := seen[c]; !dup {
+				seen[c] = struct{}{}
+				out = append(out, c)
+			}
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

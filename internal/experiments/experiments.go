@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (the algorithm/regime matrix), the three
+// illustrative figures (augmenting sequences, search growth, CUT), and
+// the quantitative claims of Theorems 2.1, 2.3, 4.9, 4.10, 5.4,
+// Corollaries 1.1 and 1.2, and Proposition C.1. Each experiment runs the
+// real algorithms on generated workloads and emits a table of measured
+// values next to the paper's predicted shapes.
+//
+// The experiments are exposed both through cmd/nwbench and through the
+// root-level bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Metrics are scalar outcomes for benchmark reporting.
+	Metrics map[string]float64
+}
+
+// Config scales the workloads.
+type Config struct {
+	// Scale multiplies the base workload sizes (1 = quick).
+	Scale int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	Name string
+	Desc string
+	Run  func(Config) (*Table, error)
+}
+
+// Registry lists all experiments in presentation order.
+var Registry = []Runner{
+	{"table1", "Table 1: (1+eps)a-FD algorithm matrix (colors, rounds, diameter)", Table1},
+	{"fig1", "Figure 1 / Theorem 3.2: augmenting sequence lengths and radii", Figure1},
+	{"fig2", "Figure 2 / Proposition 3.3: growth of the explored edge set", Figure2},
+	{"fig3", "Figure 3 / Theorem 4.2: CUT goodness and leftover load", Figure3},
+	{"hpartition", "Theorem 2.1: H-partition and its corollaries", Theorem21},
+	{"lsfd", "Theorem 2.3: (4+eps)a*-list-star-forest decomposition", Theorem23},
+	{"split", "Theorem 4.9: vertex-color-splitting palette sizes", Theorem49},
+	{"lfd", "Theorem 4.10: (1+eps)a-list-forest decomposition", Theorem410},
+	{"sfd", "Theorem 5.4: (1+eps)a-star-forest decomposition", Theorem54},
+	{"orient", "Corollary 1.1: (1+eps)a-orientation, rounds linear in 1/eps", Corollary11},
+	{"stararb", "Corollary 1.2: star-arboricity bounds across graph families", Corollary12},
+	{"lowerbound", "Proposition C.1: Omega(1/eps) diameter on the line multigraph", PropC1},
+	{"baseline", "Barenboim-Elkin baseline: (2+eps)a-FD rounds scaling", BaselineBE},
+	{"exact", "Gabow-Westermann exact arboricity ground truth", ExactGW},
+}
+
+// Find returns the runner with the given name, or nil.
+func Find(name string) *Runner {
+	for i := range Registry {
+		if Registry[i].Name == name {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// Format renders a table as aligned plain text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if len(t.Metrics) > 0 {
+		keys := make([]string, 0, len(t.Metrics))
+		for k := range t.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.3g", k, t.Metrics[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func itoa(x int) string   { return fmt.Sprintf("%d", x) }
+func check(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "VIOLATED"
+}

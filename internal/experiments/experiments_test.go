@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment at scale 1
+// and checks that the emitted tables are well-formed and contain no
+// violated invariants (except the probabilistic "sampled" CUT row, whose
+// goodness is w.h.p. only).
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range Registry {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			tab, err := r.Run(Config{Scale: 1, Seed: 12345})
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if tab.ID == "" || tab.Title == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("%s: malformed table %+v", r.Name, tab)
+			}
+			for _, row := range tab.Rows {
+				if len(row) > len(tab.Header) {
+					t.Fatalf("%s: row longer than header: %v", r.Name, row)
+				}
+			}
+			out := tab.Format()
+			if !strings.Contains(out, tab.ID) {
+				t.Fatalf("%s: Format() missing ID", r.Name)
+			}
+			if strings.Contains(out, "VIOLATED") && r.Name != "fig3" {
+				t.Fatalf("%s: invariant violated:\n%s", r.Name, out)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find("table1") == nil {
+		t.Fatal("table1 not found")
+	}
+	if Find("nope") != nil {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestConfigScale(t *testing.T) {
+	if (Config{}).scale() != 1 {
+		t.Fatal("zero scale did not default to 1")
+	}
+	if (Config{Scale: 3}).scale() != 3 {
+		t.Fatal("scale not preserved")
+	}
+}

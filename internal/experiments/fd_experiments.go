@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nwforest/internal/core"
+	"nwforest/internal/dist"
+	"nwforest/internal/exact"
+	"nwforest/internal/forest"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+	"nwforest/internal/hpartition"
+	"nwforest/internal/orient"
+	"nwforest/internal/rng"
+	"nwforest/internal/verify"
+)
+
+// Table1 regenerates the paper's Table 1: for each algorithm/regime row
+// we run the corresponding configuration and report measured excess
+// colors, rounds, and forest diameter next to the predicted shape.
+func Table1(cfg Config) (*Table, error) {
+	n := 600 * cfg.scale()
+	type row struct {
+		label   string
+		alpha   int
+		eps     float64
+		sampled bool
+		reduce  bool
+		multi   bool
+	}
+	rows := []row{
+		{"small-alpha (sampled CUT)", 3, 0.5, true, false, true},
+		{"alpha>=log D (mod-depth CUT)", 6, 0.5, false, false, true},
+		{"alpha>=log n, diam O(1/eps)", 8, 0.5, false, true, true},
+		{"alpha>=log n, eps=0.25", 8, 0.25, false, false, false},
+	}
+	t := &Table{
+		ID:      "T1",
+		Title:   "(1+eps)a-FD across regimes",
+		Header:  []string{"regime", "n", "alpha", "eps", "forests", "(1+eps)a", "2.5a(BE)", "rounds", "diam", "valid"},
+		Metrics: map[string]float64{},
+	}
+	for i, r := range rows {
+		var g *graph.Graph
+		if r.multi {
+			g = gen.ForestUnion(n, r.alpha, cfg.Seed+uint64(i))
+		} else {
+			g = gen.SimpleForestUnion(n, r.alpha, cfg.Seed+uint64(i))
+		}
+		rule := core.CutModDepth
+		if r.sampled {
+			rule = core.CutSampled
+		}
+		var cost dist.Cost
+		res, err := core.ForestDecomposition(g, core.FDOptions{
+			Alpha: r.alpha, Eps: r.eps, Seed: cfg.Seed + uint64(i), Rule: rule,
+			ReduceDiameter: r.reduce,
+		}, &cost)
+		if err != nil {
+			return nil, fmt.Errorf("table1 row %q: %w", r.label, err)
+		}
+		valid := verify.ForestDecomposition(g, res.Colors, res.NumColors) == nil
+		target := int(math.Ceil((1 + r.eps) * float64(r.alpha)))
+		be := int(2.5 * float64(r.alpha))
+		t.Rows = append(t.Rows, []string{
+			r.label, itoa(g.N()), itoa(r.alpha), f2(r.eps),
+			itoa(res.NumColors), itoa(target), itoa(be),
+			itoa(cost.Rounds()), itoa(res.Diameter), check(valid),
+		})
+		t.Metrics["forests_"+itoa(i)] = float64(res.NumColors)
+		t.Metrics["rounds_"+itoa(i)] = float64(cost.Rounds())
+	}
+	return t, nil
+}
+
+// Figure1 measures augmenting sequences (Theorem 3.2): for a saturation
+// run with (1+eps)a palettes, the length and radius of every sequence
+// must stay within O(log n / eps).
+func Figure1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "F1",
+		Title:   "augmenting sequence lengths/radii vs O(log n / eps)",
+		Header:  []string{"n", "alpha", "palette", "sequences", "mean-len", "max-len", "max-radius", "bound", "within"},
+		Metrics: map[string]float64{},
+	}
+	// Two palette regimes: (1+eps)alpha (the theorem's setting, short
+	// sequences) and exactly alpha (Seymour-tight, long sequences).
+	for _, tight := range []bool{false, true} {
+		n := 400 * cfg.scale()
+		alpha, eps := 3, 0.5
+		g := gen.ForestUnion(n, alpha, cfg.Seed)
+		k := int(math.Ceil((1 + eps) * float64(alpha)))
+		if tight {
+			k = alpha
+		}
+		palettes := fullPalettes(g.M(), k)
+		st := forest.New(g)
+		sumLen, maxLen, maxRad := 0, 0, 0
+		for id := int32(0); int(id) < g.M(); id++ {
+			seq, stats := core.FindAugmenting(st, palettes, id, nil, nil, 0)
+			if seq == nil {
+				return nil, fmt.Errorf("fig1: no augmenting sequence for edge %d", id)
+			}
+			core.Apply(st, seq)
+			sumLen += stats.Length
+			if stats.Length > maxLen {
+				maxLen = stats.Length
+			}
+			if stats.Radius > maxRad {
+				maxRad = stats.Radius
+			}
+		}
+		if err := verify.ForestDecomposition(g, st.Colors(), k); err != nil {
+			return nil, fmt.Errorf("fig1: %w", err)
+		}
+		// Theorem 3.2's bound with the effective excess of this regime
+		// (tight palettes have excess ~1/alpha).
+		effEps := eps
+		if tight {
+			effEps = 1 / float64(2*alpha)
+		}
+		bound := int(math.Ceil(4 * math.Log(float64(g.M()+2)) / effEps))
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(alpha), itoa(k) + " colors", itoa(g.M()),
+			f2(float64(sumLen) / float64(g.M())), itoa(maxLen), itoa(maxRad),
+			itoa(bound), check(maxLen <= bound && maxRad <= bound),
+		})
+		// Metric names must be whitespace-free for testing.B.ReportMetric.
+		t.Metrics["maxlen_k"+itoa(k)] = float64(maxLen)
+	}
+	return t, nil
+}
+
+// Figure2 instruments Algorithm 1's explored edge set E_i (Proposition
+// 3.3): while the search continues, |E_{i+1}| >= (1+eps)|E_i|, so the
+// iteration count is at most log_{1+eps} m.
+func Figure2(cfg Config) (*Table, error) {
+	g := gen.Clique(24 + 8*cfg.scale()) // dense: searches genuinely grow
+	trueAlpha := (g.N() + 1) / 2
+	// Tight palettes (exactly alpha colors) force real multi-iteration
+	// searches; the effective excess is then eps ~ 1/alpha.
+	eps := 1 / float64(trueAlpha)
+	k := trueAlpha
+	palettes := fullPalettes(g.M(), k)
+	st := forest.New(g)
+	maxIters, worstFinal := 0, 0
+	for id := int32(0); int(id) < g.M(); id++ {
+		seq, stats := core.FindAugmenting(st, palettes, id, nil, nil, 0)
+		if seq == nil {
+			return nil, fmt.Errorf("fig2: no augmenting sequence for edge %d", id)
+		}
+		core.Apply(st, seq)
+		if len(stats.GrowthSizes) > maxIters {
+			maxIters = len(stats.GrowthSizes)
+			if len(stats.GrowthSizes) > 0 {
+				worstFinal = stats.GrowthSizes[len(stats.GrowthSizes)-1]
+			}
+		}
+	}
+	bound := int(math.Ceil(math.Log(float64(g.M()+2))/math.Log(1+eps))) + 2
+	t := &Table{
+		ID:     "F2",
+		Title:  "Algorithm 1 growth: iterations vs log_{1+eps} m",
+		Header: []string{"graph", "m", "alpha", "max-iters", "bound", "largest-E_i", "within"},
+		Rows: [][]string{{
+			fmt.Sprintf("K%d", g.N()), itoa(g.M()), itoa(trueAlpha),
+			itoa(maxIters), itoa(bound), itoa(worstFinal), check(maxIters <= bound),
+		}},
+		Metrics: map[string]float64{"max_iters": float64(maxIters), "alpha": float64(trueAlpha)},
+	}
+	return t, nil
+}
+
+// Figure3 exercises both CUT rules on a synthetic annulus (Theorem 4.2):
+// after the cut no monochromatic path may cross the annulus, and the
+// leftover (removed) subgraph must have pseudo-arboricity <= ceil(eps*a).
+func Figure3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "F3",
+		Title:   "CUT rules: goodness and leftover pseudo-arboricity",
+		Header:  []string{"rule", "n", "alpha", "R", "removed", "crossings", "leftover-a*", "bound", "good"},
+		Metrics: map[string]float64{},
+	}
+	n := 2000 * cfg.scale()
+	alpha, eps := 4, 0.5
+	for _, rule := range []string{"mod-depth", "sampled"} {
+		g := gen.ForestUnion(n, alpha, cfg.Seed+3)
+		k := int(math.Ceil((1 + eps) * float64(alpha)))
+		st := forest.New(g)
+		palettes := fullPalettes(g.M(), k)
+		for id := int32(0); int(id) < g.M(); id++ {
+			seq, _ := core.FindAugmenting(st, palettes, id, nil, nil, 0)
+			if seq == nil {
+				return nil, fmt.Errorf("fig3: saturation failed")
+			}
+			core.Apply(st, seq)
+		}
+		// Annulus around vertex 0: inner ball radius 3, outer radius 3+R.
+		r := 10
+		innerSet := make(map[int32]bool)
+		g.BFS([]int32{0}, 3, func(v int32, _ int) { innerSet[v] = true })
+		outerSet := make(map[int32]bool)
+		g.BFS([]int32{0}, 3+r, func(v int32, _ int) { outerSet[v] = true })
+		var annulus []int32
+		for v := range outerSet {
+			if !innerSet[v] {
+				annulus = append(annulus, v)
+			}
+		}
+		var removed []int32
+		src := rng.New(cfg.Seed + 11)
+		switch rule {
+		case "mod-depth":
+			removed = core.RunCutModDepth(st, annulus, func(v int32) bool { return innerSet[v] }, r, src)
+		case "sampled":
+			removed = core.RunCutSampled(g, st, annulus, alpha, 0.9, src)
+		}
+		// Count surviving monochromatic crossings: a color component that
+		// touches the inner ball and escapes the outer ball.
+		crossings := 0
+		for c := int32(0); c < int32(k); c++ {
+			seen := map[int32]bool{}
+			for v := range innerSet {
+				if st.DegreeInColor(v, c) == 0 || seen[v] {
+					continue
+				}
+				for _, w := range st.ComponentInColor(c, v) {
+					seen[w] = true
+					if !outerSet[w] {
+						crossings++
+						break
+					}
+				}
+			}
+		}
+		leftA := 0
+		if len(removed) > 0 {
+			sub, _ := g.SubgraphOfEdges(removed)
+			leftA = orient.PseudoArboricity(sub)
+		}
+		bound := int(math.Ceil(eps * float64(alpha)))
+		good := crossings == 0 && leftA <= bound
+		t.Rows = append(t.Rows, []string{
+			rule, itoa(n), itoa(alpha), itoa(r), itoa(len(removed)),
+			itoa(crossings), itoa(leftA), itoa(bound), check(good),
+		})
+		t.Metrics["leftover_"+rule] = float64(leftA)
+		t.Metrics["crossings_"+rule] = float64(crossings)
+	}
+	return t, nil
+}
+
+// Corollary11 sweeps eps at fixed (n, alpha) and reports the rounds of
+// our (1+eps)a-orientation: the paper's claim is linear growth in 1/eps
+// (previous algorithms needed 1/eps^2).
+func Corollary11(cfg Config) (*Table, error) {
+	n := 800 * cfg.scale()
+	alpha := 6
+	t := &Table{
+		ID:      "C1.1",
+		Title:   "(1+eps)a-orientation: rounds vs 1/eps",
+		Header:  []string{"eps", "out-degree", "(1+eps)a+O(1)", "rounds", "rounds*eps"},
+		Metrics: map[string]float64{},
+	}
+	var normalized []float64
+	for _, eps := range []float64{1.0, 0.5, 0.25, 0.125} {
+		g := gen.ForestUnion(n, alpha, cfg.Seed+21)
+		var cost dist.Cost
+		res, err := core.ForestDecomposition(g, core.FDOptions{
+			Alpha: alpha, Eps: eps, Seed: cfg.Seed, ReduceDiameter: true,
+		}, &cost)
+		if err != nil {
+			return nil, fmt.Errorf("corollary11: %w", err)
+		}
+		o := orient.FromForestDecomposition(g, res.Colors, &cost)
+		outDeg := verify.MaxOutDegree(g, o)
+		rounds := cost.Rounds()
+		normalized = append(normalized, float64(rounds)*eps)
+		t.Rows = append(t.Rows, []string{
+			f2(eps), itoa(outDeg), itoa(res.NumColors),
+			itoa(rounds), f2(float64(rounds) * eps),
+		})
+		t.Metrics["rounds_eps_"+f2(eps)] = float64(rounds)
+	}
+	// Linear dependence: rounds*eps should stay within a constant factor.
+	ratio := normalized[len(normalized)-1] / normalized[0]
+	t.Metrics["linearity_ratio"] = ratio
+	t.Rows = append(t.Rows, []string{"linearity(last/first)", f2(ratio), "", "", check(ratio < 8)})
+	return t, nil
+}
+
+// PropC1 runs the diameter-bounded decomposition on the Proposition C.1
+// lower-bound instance: any (1+eps)a-FD of the line multigraph must have
+// a tree of diameter Omega(1/eps), and our O(1/eps) result matches it.
+func PropC1(cfg Config) (*Table, error) {
+	alpha := 6
+	ell := 400 * cfg.scale()
+	t := &Table{
+		ID:      "C.1",
+		Title:   "line multigraph: measured diameter vs Omega(1/eps) lower bound",
+		Header:  []string{"eps", "forests", "diameter", "lower(1/(8eps))", "upper(8/eps)", "sandwiched"},
+		Metrics: map[string]float64{},
+	}
+	for _, eps := range []float64{1.0, 0.5, 0.25} {
+		g := gen.LineMultigraph(ell, alpha)
+		res, err := core.ForestDecomposition(g, core.FDOptions{
+			Alpha: alpha, Eps: eps, Seed: cfg.Seed + 31, ReduceDiameter: true,
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("propC1: %w", err)
+		}
+		lower := int(1 / (8 * eps))
+		upper := int(math.Ceil(8 / eps))
+		ok := res.Diameter >= lower && res.Diameter <= 2*upper
+		t.Rows = append(t.Rows, []string{
+			f2(eps), itoa(res.NumColors), itoa(res.Diameter),
+			itoa(lower), itoa(upper), check(ok),
+		})
+		t.Metrics["diam_eps_"+f2(eps)] = float64(res.Diameter)
+	}
+	return t, nil
+}
+
+// BaselineBE measures the Barenboim-Elkin H-partition baseline across n:
+// rounds should grow logarithmically and colors sit near (2+eps)a.
+func BaselineBE(cfg Config) (*Table, error) {
+	alpha, eps := 4, 0.5
+	t := &Table{
+		ID:      "BE",
+		Title:   "(2+eps)a baseline: rounds O(log n / eps)",
+		Header:  []string{"n", "colors", "(2+eps)a", "rounds", "rounds/log2(n)"},
+		Metrics: map[string]float64{},
+	}
+	for _, n := range []int{500, 2000, 8000} {
+		n *= cfg.scale()
+		g := gen.ForestUnion(n, alpha, cfg.Seed+41)
+		var cost dist.Cost
+		hp, err := hpartition.Partition(g, hpartition.Threshold(alpha, eps), 16*n+64, &cost)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		colors, err := hpartition.ForestDecomposition(g, hp, &cost)
+		if err != nil {
+			return nil, err
+		}
+		if err := verify.ForestDecomposition(g, colors, hp.T); err != nil {
+			return nil, err
+		}
+		used := int(verify.MaxColor(colors)) + 1
+		rounds := cost.Rounds()
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(used), itoa(hpartition.Threshold(alpha, eps)),
+			itoa(rounds), f2(float64(rounds) / math.Log2(float64(n))),
+		})
+		t.Metrics["rounds_n_"+itoa(n)] = float64(rounds)
+	}
+	return t, nil
+}
+
+// ExactGW runs the centralized Gabow-Westermann decomposition as ground
+// truth across families with known arboricity.
+func ExactGW(cfg Config) (*Table, error) {
+	s := cfg.scale()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int // -1 = unknown
+	}{
+		{"K9", gen.Clique(9), 5},
+		{"grid", gen.Grid(12*s, 12*s), 2},
+		{"forest-union-4", gen.ForestUnion(120*s, 4, cfg.Seed), 4},
+		{"line-multi-5", gen.LineMultigraph(40*s, 5), 5},
+		{"BA-3", gen.BarabasiAlbert(150*s, 3, cfg.Seed), -1},
+	}
+	t := &Table{
+		ID:      "GW",
+		Title:   "exact arboricity (centralized reference)",
+		Header:  []string{"graph", "n", "m", "alpha", "expected", "ms", "valid"},
+		Metrics: map[string]float64{},
+	}
+	for _, c := range cases {
+		start := time.Now()
+		alpha, colors := exact.Arboricity(c.g)
+		ms := time.Since(start).Milliseconds()
+		valid := verify.ForestDecomposition(c.g, colors, alpha) == nil
+		expected := "?"
+		if c.want >= 0 {
+			expected = itoa(c.want)
+			valid = valid && alpha == c.want
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, itoa(c.g.N()), itoa(c.g.M()), itoa(alpha), expected,
+			itoa(int(ms)), check(valid),
+		})
+		t.Metrics["alpha_"+c.name] = float64(alpha)
+	}
+	return t, nil
+}
+
+func fullPalettes(m, k int) [][]int32 {
+	pal := make([]int32, k)
+	for i := range pal {
+		pal[i] = int32(i)
+	}
+	out := make([][]int32, m)
+	for i := range out {
+		out[i] = pal
+	}
+	return out
+}

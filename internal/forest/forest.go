@@ -1,0 +1,224 @@
+// Package forest maintains mutable partial forest-decomposition state:
+// an edge coloring together with per-vertex, per-color incidence indexes
+// supporting the path queries C(e, c) that drive the paper's augmenting
+// sequences (Section 3) and the CUT procedures (Section 4).
+package forest
+
+import (
+	"nwforest/internal/graph"
+	"nwforest/internal/verify"
+)
+
+// State is a partial edge coloring of a graph with per-color adjacency.
+type State struct {
+	g      *graph.Graph
+	colors []int32
+	// adj[v] maps a color to the IDs of edges of that color incident to v.
+	adj []map[int32][]int32
+}
+
+// New returns an all-uncolored state over g.
+func New(g *graph.Graph) *State {
+	s := &State{
+		g:      g,
+		colors: make([]int32, g.M()),
+		adj:    make([]map[int32][]int32, g.N()),
+	}
+	for i := range s.colors {
+		s.colors[i] = verify.Uncolored
+	}
+	for v := range s.adj {
+		s.adj[v] = make(map[int32][]int32)
+	}
+	return s
+}
+
+// FromColors returns a state initialized with the given coloring
+// (which is copied).
+func FromColors(g *graph.Graph, colors []int32) *State {
+	s := New(g)
+	for id, c := range colors {
+		if c != verify.Uncolored {
+			s.SetColor(int32(id), c)
+		}
+	}
+	return s
+}
+
+// Graph returns the underlying graph.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// Color returns the color of edge id (verify.Uncolored if none).
+func (s *State) Color(id int32) int32 { return s.colors[id] }
+
+// Colors returns a copy of the full coloring.
+func (s *State) Colors() []int32 {
+	out := make([]int32, len(s.colors))
+	copy(out, s.colors)
+	return out
+}
+
+// SetColor assigns color c to edge id, updating the incidence index.
+// c may be verify.Uncolored to erase the edge's color.
+func (s *State) SetColor(id, c int32) {
+	old := s.colors[id]
+	if old == c {
+		return
+	}
+	e := s.g.Edge(id)
+	if old != verify.Uncolored {
+		s.removeIncidence(e.U, old, id)
+		s.removeIncidence(e.V, old, id)
+	}
+	s.colors[id] = c
+	if c != verify.Uncolored {
+		s.adj[e.U][c] = append(s.adj[e.U][c], id)
+		s.adj[e.V][c] = append(s.adj[e.V][c], id)
+	}
+}
+
+func (s *State) removeIncidence(v, c, id int32) {
+	lst := s.adj[v][c]
+	for i, x := range lst {
+		if x == id {
+			lst[i] = lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(s.adj[v], c)
+	} else {
+		s.adj[v][c] = lst
+	}
+}
+
+// IncidentInColor returns the IDs of c-colored edges incident to v.
+// Callers must not modify the returned slice.
+func (s *State) IncidentInColor(v, c int32) []int32 { return s.adj[v][c] }
+
+// DegreeInColor returns the number of c-colored edges at v.
+func (s *State) DegreeInColor(v, c int32) int { return len(s.adj[v][c]) }
+
+// ColorsAt returns the set of colors present at v.
+func (s *State) ColorsAt(v int32) []int32 {
+	out := make([]int32, 0, len(s.adj[v]))
+	for c := range s.adj[v] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// PathInColor returns the edge IDs of the unique u-v path in the c-colored
+// forest, or nil if u and v are disconnected in color c. If within is
+// non-nil, the search only traverses vertices w with within(w) true
+// (u and v themselves are always allowed); a path escaping the region is
+// treated as disconnection. This is the paper's C(e, c) primitive.
+func (s *State) PathInColor(c, u, v int32, within func(int32) bool) []int32 {
+	if u == v {
+		return []int32{}
+	}
+	parent := make(map[int32]int32) // vertex -> edge used to reach it
+	visited := map[int32]bool{u: true}
+	queue := []int32{u}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, id := range s.adj[x][c] {
+			y := s.g.Edge(id).Other(x)
+			if visited[y] {
+				continue
+			}
+			visited[y] = true
+			parent[y] = id
+			if y == v {
+				var path []int32
+				for cur := v; cur != u; {
+					pe := parent[cur]
+					path = append(path, pe)
+					cur = s.g.Edge(pe).Other(cur)
+				}
+				return path
+			}
+			if within == nil || within(y) {
+				queue = append(queue, y)
+			}
+		}
+	}
+	return nil
+}
+
+// ConnectedInColor reports whether u and v are connected in color c,
+// searching only within the given region (nil = everywhere).
+func (s *State) ConnectedInColor(c, u, v int32, within func(int32) bool) bool {
+	return s.PathInColor(c, u, v, within) != nil
+}
+
+// ComponentInColor returns the vertices of the c-colored component
+// containing v (including v even if isolated in c).
+func (s *State) ComponentInColor(c, v int32) []int32 {
+	visited := map[int32]bool{v: true}
+	queue := []int32{v}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, id := range s.adj[x][c] {
+			y := s.g.Edge(id).Other(x)
+			if !visited[y] {
+				visited[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return queue
+}
+
+// Rooted describes one rooted monochromatic tree: Parent[i] is the parent
+// edge ID of Verts[i] (-1 for the root, which is Verts[0]); Depth[i] is
+// the hop distance from the root.
+type Rooted struct {
+	Verts  []int32
+	Parent []int32
+	Depth  []int32
+}
+
+// RootedTreesInColor decomposes the c-colored forest restricted to the
+// given vertex region into rooted trees. Roots are chosen by preference:
+// if rootPref is non-nil and returns true for some vertex of a tree, the
+// first such vertex (in region order) becomes the root; otherwise the
+// first-encountered vertex does. Vertices outside region are ignored.
+func (s *State) RootedTreesInColor(c int32, region []int32, rootPref func(int32) bool) []Rooted {
+	inRegion := make(map[int32]bool, len(region))
+	for _, v := range region {
+		inRegion[v] = true
+	}
+	visited := make(map[int32]bool, len(region))
+	var trees []Rooted
+	// Two passes so preferred roots win: first start trees from preferred
+	// vertices, then from anything left.
+	for pass := 0; pass < 2; pass++ {
+		for _, v := range region {
+			if visited[v] || s.DegreeInColor(v, c) == 0 {
+				continue
+			}
+			if pass == 0 && (rootPref == nil || !rootPref(v)) {
+				continue
+			}
+			tr := Rooted{Verts: []int32{v}, Parent: []int32{-1}, Depth: []int32{0}}
+			visited[v] = true
+			for head := 0; head < len(tr.Verts); head++ {
+				x := tr.Verts[head]
+				for _, id := range s.adj[x][c] {
+					y := s.g.Edge(id).Other(x)
+					if visited[y] || !inRegion[y] {
+						continue
+					}
+					visited[y] = true
+					tr.Verts = append(tr.Verts, y)
+					tr.Parent = append(tr.Parent, id)
+					tr.Depth = append(tr.Depth, tr.Depth[head]+1)
+				}
+			}
+			trees = append(trees, tr)
+		}
+	}
+	return trees
+}

@@ -1,0 +1,266 @@
+// Package graph implements the static multigraph substrate used by the
+// whole module.
+//
+// Vertices are dense integers 0..N-1. Edges are identified by dense integer
+// IDs 0..M-1 (their index in the edge list), which lets algorithm state —
+// colorings, orientations, palettes — live in flat slices indexed by edge
+// ID. Parallel edges are allowed (the paper's results hold for
+// multigraphs); self-loops are not, since no forest can contain one.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is an undirected edge between U and V.
+type Edge struct {
+	U, V int32
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v int32) int32 {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+	}
+}
+
+// Arc is one direction of an undirected edge, as stored in adjacency lists:
+// the edge with ID Edge leads to neighbor To.
+type Arc struct {
+	Edge int32 // edge ID
+	To   int32 // neighbor vertex
+}
+
+// Graph is an immutable undirected multigraph.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Arc
+}
+
+// ErrSelfLoop is returned by New when the edge list contains a self-loop.
+var ErrSelfLoop = errors.New("graph: self-loops are not allowed")
+
+// New builds a graph on n vertices from the given edge list. The edge IDs
+// are the indices into edges. It returns an error if any edge mentions a
+// vertex outside [0, n) or is a self-loop.
+func New(n int, edges []Edge) (*Graph, error) {
+	g := &Graph{
+		n:     n,
+		edges: make([]Edge, len(edges)),
+		adj:   make([][]Arc, n),
+	}
+	copy(g.edges, edges)
+	deg := make([]int32, n)
+	for _, e := range g.edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge %v out of range for n=%d", e, n)
+		}
+		if e.U == e.V {
+			return nil, ErrSelfLoop
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := 0; v < n; v++ {
+		g.adj[v] = make([]Arc, 0, deg[v])
+	}
+	for id, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], Arc{Edge: int32(id), To: e.V})
+		g.adj[e.V] = append(g.adj[e.V], Arc{Edge: int32(id), To: e.U})
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error; for tests and generators whose inputs
+// are correct by construction.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edge returns the endpoints of edge id.
+func (g *Graph) Edge(id int32) Edge { return g.edges[id] }
+
+// Edges returns the underlying edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Adj returns the adjacency list of v. Callers must not modify it.
+func (g *Graph) Adj(v int32) []Arc { return g.adj[v] }
+
+// Degree returns the degree of v (counting parallel edges).
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree Δ of the graph (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsSimple reports whether the graph has no parallel edges.
+func (g *Graph) IsSimple() bool {
+	seen := make(map[[2]int32]struct{}, len(g.edges))
+	for _, e := range g.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{u, v}
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+	}
+	return true
+}
+
+// Density returns |E| / (|V|-1), the Nash-Williams density of the whole
+// graph (a lower bound on the fractional arboricity). Returns 0 when n < 2.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(len(g.edges)) / float64(g.n-1)
+}
+
+// BFS runs a breadth-first search from each source, visiting every vertex
+// reachable within maxDist hops (maxDist < 0 means unbounded). It calls
+// visit(v, dist) once per reached vertex, in nondecreasing order of dist.
+// The sources themselves are visited at distance 0.
+func (g *Graph) BFS(sources []int32, maxDist int, visit func(v int32, dist int)) {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		visit(v, int(dist[v]))
+		if maxDist >= 0 && int(dist[v]) >= maxDist {
+			continue
+		}
+		for _, a := range g.adj[v] {
+			if dist[a.To] == -1 {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+}
+
+// Ball returns the set of vertices within distance r of any source,
+// including the sources, as a sorted-by-discovery slice.
+func (g *Graph) Ball(sources []int32, r int) []int32 {
+	var out []int32
+	g.BFS(sources, r, func(v int32, _ int) { out = append(out, v) })
+	return out
+}
+
+// Dist returns the hop distance from u to v, or -1 if disconnected.
+func (g *Graph) Dist(u, v int32) int {
+	res := -1
+	g.BFS([]int32{u}, -1, func(w int32, d int) {
+		if w == v && res == -1 {
+			res = d
+		}
+	})
+	return res
+}
+
+// Components returns a component label per vertex and the component count.
+func (g *Graph) Components() (label []int32, count int) {
+	label = make([]int32, g.n)
+	for i := range label {
+		label[i] = -1
+	}
+	for v := int32(0); int(v) < g.n; v++ {
+		if label[v] != -1 {
+			continue
+		}
+		c := int32(count)
+		count++
+		g.BFS([]int32{v}, -1, func(w int32, _ int) { label[w] = c })
+	}
+	return label, count
+}
+
+// IsForest reports whether the whole graph is acyclic.
+func (g *Graph) IsForest() bool {
+	_, comps := g.Components()
+	return len(g.edges) == g.n-comps
+}
+
+// EdgesWithin returns the IDs of edges whose both endpoints satisfy in().
+func (g *Graph) EdgesWithin(in func(v int32) bool) []int32 {
+	var out []int32
+	for id, e := range g.edges {
+		if in(e.U) && in(e.V) {
+			out = append(out, int32(id))
+		}
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// together with mapping slices: vmap[newV] = oldV and emap[newE] = oldE.
+func (g *Graph) InducedSubgraph(vs []int32) (sub *Graph, vmap, emap []int32) {
+	idx := make(map[int32]int32, len(vs))
+	vmap = make([]int32, len(vs))
+	for i, v := range vs {
+		idx[v] = int32(i)
+		vmap[i] = v
+	}
+	var edges []Edge
+	for id, e := range g.edges {
+		iu, okU := idx[e.U]
+		iv, okV := idx[e.V]
+		if okU && okV {
+			edges = append(edges, Edge{U: iu, V: iv})
+			emap = append(emap, int32(id))
+		}
+	}
+	sub = MustNew(len(vs), edges)
+	return sub, vmap, emap
+}
+
+// SubgraphOfEdges returns the graph on the same vertex set containing only
+// the listed edges, with emap[newE] = oldE.
+func (g *Graph) SubgraphOfEdges(edgeIDs []int32) (sub *Graph, emap []int32) {
+	edges := make([]Edge, len(edgeIDs))
+	emap = make([]int32, len(edgeIDs))
+	for i, id := range edgeIDs {
+		edges[i] = g.edges[id]
+		emap[i] = id
+	}
+	return MustNew(g.n, edges), emap
+}
+
+// E is a convenience constructor for Edge, useful in tests and generators.
+func E(u, v int32) Edge { return Edge{U: u, V: v} }

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the graph in a plain text format: the first line is
+// "n m", followed by one "u v" line per edge, in edge-ID order.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a graph in the format produced by Encode. Blank lines and
+// lines starting with '#' are ignored.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	header, ok := readLine()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing header line")
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("graph: bad header %q", header)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count: %w", err)
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count: %w", err)
+	}
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		line, ok := readLine()
+		if !ok {
+			return nil, fmt.Errorf("graph: expected %d edges, got %d", m, i)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		edges = append(edges, Edge{U: int32(u), V: int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(n, edges)
+}

@@ -1,0 +1,107 @@
+package hpartition
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ThreeColorRootedForest properly 3-colors a rooted forest given by parent
+// pointers (parent[v] = -1 for roots) using the Cole-Vishkin [CV86]
+// iterated bit technique followed by the standard shift-down color
+// reduction. It returns the coloring (values in {0,1,2}) and the number of
+// synchronous rounds the procedure takes in the LOCAL model (O(log* n)).
+func ThreeColorRootedForest(parent []int32) ([]int8, int, error) {
+	n := len(parent)
+	colors := make([]int32, n)
+	for v := range colors {
+		colors[v] = int32(v) // unique IDs are a proper n-coloring
+	}
+	rounds := 0
+
+	// Iterated Cole-Vishkin: each step maps a proper C-coloring to a
+	// proper O(log C)-coloring. Stop when at most 6 colors remain.
+	maxColor := int32(n - 1)
+	for iter := 0; maxColor >= 6; iter++ {
+		if iter > 64 {
+			return nil, 0, fmt.Errorf("hpartition: Cole-Vishkin failed to converge (n=%d)", n)
+		}
+		next := make([]int32, n)
+		newMax := int32(0)
+		for v := range parent {
+			var pc int32
+			if parent[v] >= 0 {
+				pc = colors[parent[v]]
+			} else {
+				// Roots pretend their parent differs in the lowest bit.
+				pc = colors[v] ^ 1
+			}
+			diff := colors[v] ^ pc
+			i := int32(bits.TrailingZeros32(uint32(diff)))
+			b := (colors[v] >> i) & 1
+			next[v] = 2*i + b
+			if next[v] > newMax {
+				newMax = next[v]
+			}
+		}
+		colors = next
+		maxColor = newMax
+		rounds++
+	}
+
+	// Shift-down + recolor to eliminate colors 5, 4, 3.
+	for k := int32(5); k >= 3; k-- {
+		// Shift-down: every vertex adopts its parent's color; roots pick a
+		// fresh color in {0,1,2} different from their own. Afterwards all
+		// children of any vertex share a color.
+		next := make([]int32, n)
+		for v := range parent {
+			if parent[v] >= 0 {
+				next[v] = colors[parent[v]]
+			} else {
+				next[v] = (colors[v] + 1) % 3
+			}
+		}
+		colors = next
+		rounds++
+		// Recolor the k-colored vertices: the neighborhood of such a vertex
+		// uses at most two colors (its parent's, and the one shared by its
+		// children), so a free color exists in {0,1,2}.
+		childColor := make([]int32, n)
+		for v := range childColor {
+			childColor[v] = -1
+		}
+		for v, p := range parent {
+			if p >= 0 {
+				childColor[p] = colors[v]
+			}
+		}
+		for v := range parent {
+			if colors[v] != k {
+				continue
+			}
+			used := [6]bool{}
+			if parent[v] >= 0 {
+				used[colors[parent[v]]] = true
+			}
+			if childColor[v] >= 0 && childColor[v] < 6 {
+				used[childColor[v]] = true
+			}
+			for c := int32(0); c < 3; c++ {
+				if !used[c] {
+					colors[v] = c
+					break
+				}
+			}
+		}
+		rounds++
+	}
+
+	out := make([]int8, n)
+	for v, c := range colors {
+		if c < 0 || c > 2 {
+			return nil, 0, fmt.Errorf("hpartition: color %d out of range after reduction", c)
+		}
+		out[v] = int8(c)
+	}
+	return out, rounds, nil
+}

@@ -1,0 +1,239 @@
+// Package hpartition implements Theorem 2.1 of the paper: the H-partition
+// of Barenboim-Elkin [BE10] and its four corollaries — degree peeling, the
+// acyclic t-orientation, the 3t-star-forest decomposition (via
+// Cole-Vishkin tree coloring) and the t-list-forest decomposition.
+//
+// For t = floor((2+eps)·alpha*), the peeling removes an eps/(2+eps)
+// fraction of the remaining vertices per round, so it terminates in
+// O(log n / eps) rounds. The peeling itself runs on the dist.Engine as a
+// genuine message-passing program; the corollaries are O(1)- or
+// O(log* n)-round local computations charged to the cost tracker.
+package hpartition
+
+import (
+	"fmt"
+	"math"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/graph"
+	"nwforest/internal/verify"
+)
+
+// Result is an H-partition: Class[v] is the peel round in which v was
+// removed; every vertex has at most T neighbors in its own or later
+// classes.
+type Result struct {
+	T          int
+	Class      []int32
+	NumClasses int
+}
+
+// Threshold returns the peeling threshold t = floor((2+eps)*alphaStar).
+func Threshold(alphaStar int, eps float64) int {
+	return int(math.Floor((2 + eps) * float64(alphaStar)))
+}
+
+// peelMsg is the "I was removed this round" notification.
+type peelMsg struct{}
+
+// peelProg is the per-vertex peeling program.
+type peelProg struct {
+	t       int
+	remDeg  int
+	removed bool
+	class   int32
+}
+
+func (p *peelProg) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, bool) {
+	if p.removed {
+		return nil, true
+	}
+	for _, m := range recv {
+		if m != nil {
+			p.remDeg--
+		}
+	}
+	if p.remDeg <= p.t {
+		p.removed = true
+		p.class = int32(env.Round)
+		return dist.Broadcast(env.Deg(), peelMsg{}), false
+	}
+	return nil, false
+}
+
+// Partition peels g with threshold t. It fails if the graph does not
+// empty within maxRounds rounds (t below the graph's peeling number).
+// The consumed rounds are charged to cost.
+func Partition(g *graph.Graph, t, maxRounds int, cost *dist.Cost) (*Result, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("hpartition: negative threshold %d", t)
+	}
+	progs := make([]*peelProg, g.N())
+	eng := dist.NewEngine(g, func(v int32) dist.Program {
+		progs[v] = &peelProg{t: t, remDeg: g.Degree(v)}
+		return progs[v]
+	})
+	rounds, err := eng.Run(maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("hpartition: peeling stuck with t=%d: %w", t, err)
+	}
+	cost.Charge(rounds, "hpartition/peel")
+	res := &Result{T: t, Class: make([]int32, g.N())}
+	for v, p := range progs {
+		res.Class[v] = p.class
+		if int(p.class)+1 > res.NumClasses {
+			res.NumClasses = int(p.class) + 1
+		}
+	}
+	return res, nil
+}
+
+// Before reports whether vertex u precedes v in the acyclic order:
+// strictly earlier class, or same class with lower ID.
+func (r *Result) Before(u, v int32) bool {
+	if r.Class[u] != r.Class[v] {
+		return r.Class[u] < r.Class[v]
+	}
+	return u < v
+}
+
+// AcyclicOrientation orients every edge from the endpoint that is earlier
+// in the (class, ID) order (Theorem 2.1(2)). The result is acyclic with
+// out-degree at most T. O(1) rounds.
+func AcyclicOrientation(g *graph.Graph, r *Result, cost *dist.Cost) *verify.Orientation {
+	o := verify.NewOrientation(g.M())
+	for id, e := range g.Edges() {
+		o.FromU[id] = r.Before(e.U, e.V)
+	}
+	cost.Charge(1, "hpartition/orient")
+	return o
+}
+
+// OutEdges returns, for each vertex, the IDs of its out-edges under o.
+func OutEdges(g *graph.Graph, o *verify.Orientation) [][]int32 {
+	out := make([][]int32, g.N())
+	for id := range g.Edges() {
+		tail := o.Tail(g, int32(id))
+		out[tail] = append(out[tail], int32(id))
+	}
+	return out
+}
+
+// ForestDecomposition labels the out-edges of every vertex with distinct
+// indices in [0, T), yielding a T-forest decomposition where every forest
+// is rooted (Barenboim-Elkin's (2+eps)·alpha decomposition). O(1) rounds.
+func ForestDecomposition(g *graph.Graph, r *Result, cost *dist.Cost) ([]int32, error) {
+	o := AcyclicOrientation(g, r, cost)
+	colors := make([]int32, g.M())
+	for _, ids := range OutEdges(g, o) {
+		if len(ids) > r.T {
+			return nil, fmt.Errorf("hpartition: out-degree %d exceeds T=%d", len(ids), r.T)
+		}
+		for i, id := range ids {
+			colors[id] = int32(i)
+		}
+	}
+	cost.Charge(1, "hpartition/label")
+	return colors, nil
+}
+
+// ListForestDecomposition colors each edge from its palette so that every
+// color class is a forest, using the greedy per-vertex process of Theorem
+// 2.1(4). Every palette must have at least T colors. O(1) rounds.
+func ListForestDecomposition(g *graph.Graph, r *Result, palettes [][]int32, cost *dist.Cost) ([]int32, error) {
+	o := AcyclicOrientation(g, r, cost)
+	colors := make([]int32, g.M())
+	for i := range colors {
+		colors[i] = verify.Uncolored
+	}
+	for _, ids := range OutEdges(g, o) {
+		used := make(map[int32]struct{}, len(ids))
+		for _, id := range ids {
+			picked := verify.Uncolored
+			for _, c := range palettes[id] {
+				if _, taken := used[c]; !taken {
+					picked = c
+					break
+				}
+			}
+			if picked == verify.Uncolored {
+				return nil, fmt.Errorf("hpartition: palette of edge %d exhausted (size %d, out-degree %d, T=%d)",
+					id, len(palettes[id]), len(ids), r.T)
+			}
+			used[picked] = struct{}{}
+			colors[id] = picked
+		}
+	}
+	cost.Charge(1, "hpartition/list-color")
+	return colors, nil
+}
+
+// StarForestDecomposition computes the 3T-star-forest decomposition of
+// Theorem 2.1(3): label out-edges to get T rooted forests, 3-color every
+// tree with Cole-Vishkin, and give each edge the color of its parent
+// endpoint. Colors are 3*label + parentColor, in [0, 3T).
+func StarForestDecomposition(g *graph.Graph, r *Result, cost *dist.Cost) ([]int32, error) {
+	o := AcyclicOrientation(g, r, cost)
+	outs := OutEdges(g, o)
+	colors := make([]int32, g.M())
+	maxRounds := 0
+	for label := 0; label < r.T; label++ {
+		// parent[v] = the head of v's out-edge with this label, if any.
+		parent := make([]int32, g.N())
+		edgeOf := make([]int32, g.N())
+		for i := range parent {
+			parent[i] = -1
+			edgeOf[i] = -1
+		}
+		any := false
+		for v := int32(0); int(v) < g.N(); v++ {
+			if label < len(outs[v]) {
+				id := outs[v][label]
+				parent[v] = o.Head(g, id)
+				edgeOf[v] = id
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		vc, rounds, err := ThreeColorRootedForest(parent)
+		if err != nil {
+			return nil, fmt.Errorf("hpartition: label %d: %w", label, err)
+		}
+		if rounds > maxRounds {
+			maxRounds = rounds
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			if edgeOf[v] >= 0 {
+				colors[edgeOf[v]] = int32(3*label) + int32(vc[parent[v]])
+			}
+		}
+	}
+	// All labels run in parallel in the LOCAL model; charge the slowest.
+	cost.Charge(maxRounds+1, "hpartition/star-color")
+	return colors, nil
+}
+
+// EstimateDegeneracy finds, by doubling, the smallest power-of-two
+// threshold t for which the peeling empties the graph within O(log n)
+// rounds. The result sandwiches the sparsity measures: it is an upper
+// bound on the degeneracy (hence on the arboricity), and at most ~5x the
+// pseudo-arboricity, since t >= (2+eps)*alphaStar always peels in
+// O(log n / eps) rounds. This removes the paper's standing assumption
+// that alpha is globally known, at a factor-2 loss and an O(log^2 n)
+// round cost.
+func EstimateDegeneracy(g *graph.Graph, cost *dist.Cost) (int, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	budget := 8*int(math.Ceil(math.Log2(float64(g.N()+2)))) + 16
+	for t := 1; ; t *= 2 {
+		if _, err := Partition(g, t, budget, cost); err == nil {
+			return t, nil
+		}
+		if t > g.N() {
+			return 0, fmt.Errorf("hpartition: estimate failed beyond t=%d", t)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package hpartition
+
+import (
+	"testing"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+	"nwforest/internal/orient"
+	"nwforest/internal/verify"
+)
+
+func mustPartition(t *testing.T, g *graph.Graph, thr int) *Result {
+	t.Helper()
+	var cost dist.Cost
+	res, err := Partition(g, thr, 4*g.N()+10, &cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(4, 0.5) != 10 {
+		t.Fatalf("Threshold(4, 0.5) = %d, want 10", Threshold(4, 0.5))
+	}
+	if Threshold(1, 0.0) != 2 {
+		t.Fatalf("Threshold(1, 0) = %d, want 2", Threshold(1, 0))
+	}
+}
+
+// checkHProperty verifies the defining property of the H-partition: each
+// vertex has at most t neighbors in its own or later classes.
+func checkHProperty(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	for v := int32(0); int(v) < g.N(); v++ {
+		count := 0
+		for _, a := range g.Adj(v) {
+			if res.Class[a.To] >= res.Class[v] {
+				count++
+			}
+		}
+		if count > res.T {
+			t.Fatalf("vertex %d has %d neighbors in same-or-later classes (T=%d)", v, count, res.T)
+		}
+	}
+}
+
+func TestPartitionTree(t *testing.T) {
+	g := gen.RandomTree(200, 1)
+	res := mustPartition(t, g, 2) // alpha* = 1, t = 2 => (2+0)-threshold
+	checkHProperty(t, g, res)
+	if res.NumClasses < 1 {
+		t.Fatal("no classes")
+	}
+}
+
+func TestPartitionForestUnion(t *testing.T) {
+	g := gen.ForestUnion(300, 4, 2)
+	thr := Threshold(4, 0.5) // (2.5)*4 = 10
+	res := mustPartition(t, g, thr)
+	checkHProperty(t, g, res)
+	// Peeling must terminate in O(log n / eps) classes; allow slack.
+	if res.NumClasses > 60 {
+		t.Fatalf("too many classes: %d", res.NumClasses)
+	}
+}
+
+func TestPartitionStuck(t *testing.T) {
+	g := gen.Clique(10) // min degree 9; threshold 3 can never peel
+	if _, err := Partition(g, 3, 50, nil); err == nil {
+		t.Fatal("expected peeling to fail on K10 with t=3")
+	}
+}
+
+func TestPartitionEmptyAndTiny(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	if _, err := Partition(g, 1, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	g = graph.MustNew(1, nil)
+	res, err := Partition(g, 0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClasses != 1 {
+		t.Fatalf("NumClasses = %d, want 1", res.NumClasses)
+	}
+}
+
+func TestAcyclicOrientation(t *testing.T) {
+	g := gen.ForestUnion(150, 3, 3)
+	res := mustPartition(t, g, Threshold(3, 0.5))
+	o := AcyclicOrientation(g, res, nil)
+	if !verify.OrientationAcyclic(g, o) {
+		t.Fatal("orientation has a cycle")
+	}
+	if d := verify.MaxOutDegree(g, o); d > res.T {
+		t.Fatalf("out-degree %d exceeds T=%d", d, res.T)
+	}
+}
+
+func TestForestDecomposition(t *testing.T) {
+	g := gen.ForestUnion(150, 3, 4)
+	res := mustPartition(t, g, Threshold(3, 0.5))
+	colors, err := ForestDecomposition(g, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.ForestDecomposition(g, colors, res.T); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestDecompositionMultigraph(t *testing.T) {
+	g := gen.LineMultigraph(50, 4)
+	res := mustPartition(t, g, Threshold(4, 0.5))
+	colors, err := ForestDecomposition(g, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.ForestDecomposition(g, colors, res.T); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListForestDecomposition(t *testing.T) {
+	g := gen.ForestUnion(120, 3, 5)
+	res := mustPartition(t, g, Threshold(3, 0.5))
+	// Palettes: T colors drawn from a shifted range per edge to make the
+	// list constraint non-trivial.
+	palettes := make([][]int32, g.M())
+	for id := range palettes {
+		base := int32(id % 4)
+		for c := int32(0); c < int32(res.T); c++ {
+			palettes[id] = append(palettes[id], base+2*c)
+		}
+	}
+	colors, err := ListForestDecomposition(g, res, palettes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.RespectsPalettes(colors, palettes); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.PartialForestDecomposition(g, colors, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range colors {
+		if c == verify.Uncolored {
+			t.Fatalf("edge %d left uncolored", id)
+		}
+	}
+}
+
+func TestListForestDecompositionPaletteTooSmall(t *testing.T) {
+	g := gen.Clique(8)
+	res := mustPartition(t, g, 7)
+	palettes := make([][]int32, g.M())
+	for id := range palettes {
+		palettes[id] = []int32{0} // single color: must fail on K8
+	}
+	if _, err := ListForestDecomposition(g, res, palettes, nil); err == nil {
+		t.Fatal("expected palette exhaustion")
+	}
+}
+
+func TestStarForestDecomposition(t *testing.T) {
+	g := gen.ForestUnion(150, 3, 6)
+	res := mustPartition(t, g, Threshold(3, 0.5))
+	var cost dist.Cost
+	colors, err := StarForestDecomposition(g, res, &cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.StarForestDecomposition(g, colors, 3*res.T); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds() == 0 {
+		t.Fatal("no rounds charged for star coloring")
+	}
+}
+
+func TestStarForestDecompositionMultigraph(t *testing.T) {
+	g := gen.MultiplyEdges(gen.Grid(8, 8), 2)
+	res := mustPartition(t, g, Threshold(4, 0.5))
+	colors, err := StarForestDecomposition(g, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.StarForestDecomposition(g, colors, 3*res.T); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeelRoundsGrowLogarithmically(t *testing.T) {
+	// Theorem 2.1: the number of classes is O(log n / eps). Verify the
+	// measured class count grows no faster than ~log n on forest unions.
+	var counts []int
+	for _, n := range []int{100, 1000, 10000} {
+		g := gen.ForestUnion(n, 3, 7)
+		res := mustPartition(t, g, Threshold(3, 1.0))
+		counts = append(counts, res.NumClasses)
+	}
+	if counts[2] > 4*counts[0]+8 {
+		t.Fatalf("class counts %v grow faster than logarithmic", counts)
+	}
+}
+
+func TestThreeColorRootedForestPath(t *testing.T) {
+	// A path rooted at one end: parent[i] = i-1.
+	n := 1000
+	parent := make([]int32, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = int32(i - 1)
+	}
+	colors, rounds, err := ThreeColorRootedForest(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 || rounds > 40 {
+		t.Fatalf("rounds = %d, want small positive (O(log* n))", rounds)
+	}
+	for i := 1; i < n; i++ {
+		if colors[i] == colors[i-1] {
+			t.Fatalf("adjacent vertices %d, %d share color %d", i-1, i, colors[i])
+		}
+		if colors[i] < 0 || colors[i] > 2 {
+			t.Fatalf("color %d out of range", colors[i])
+		}
+	}
+}
+
+func TestThreeColorRootedForestStarAndSingletons(t *testing.T) {
+	// A star: all vertices point to 0; plus isolated roots.
+	parent := []int32{-1, 0, 0, 0, 0, -1, -1}
+	colors, _, err := ThreeColorRootedForest(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 4; v++ {
+		if colors[v] == colors[0] {
+			t.Fatalf("leaf %d shares color with center", v)
+		}
+	}
+}
+
+func TestThreeColorRandomForest(t *testing.T) {
+	// Random rooted forest: each vertex points to a random earlier vertex
+	// or is a root.
+	g := gen.RandomTree(500, 9)
+	// Build parent pointers by BFS from vertex 0.
+	parent := make([]int32, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	seen := make([]bool, g.N())
+	seen[0] = true
+	queue := []int32{0}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range g.Adj(v) {
+			if !seen[a.To] {
+				seen[a.To] = true
+				parent[a.To] = v
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	colors, _, err := ThreeColorRootedForest(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range parent {
+		if p >= 0 && colors[v] == colors[p] {
+			t.Fatalf("vertex %d shares color with parent %d", v, p)
+		}
+	}
+}
+
+// TestCorollary11Pipeline exercises the FD -> orientation reduction: a
+// (2+eps)alpha forest decomposition oriented toward the roots yields a
+// (2+eps)alpha-orientation.
+func TestCorollary11Pipeline(t *testing.T) {
+	g := gen.ForestUnion(200, 4, 8)
+	res := mustPartition(t, g, Threshold(4, 0.5))
+	colors, err := ForestDecomposition(g, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := orient.FromForestDecomposition(g, colors, nil)
+	if d := verify.MaxOutDegree(g, o); d > res.T {
+		t.Fatalf("orientation out-degree %d exceeds %d", d, res.T)
+	}
+}
+
+func TestEstimateDegeneracy(t *testing.T) {
+	cases := []struct {
+		name     string
+		g        *graph.Graph
+		min, max int
+	}{
+		{"tree", gen.RandomTree(300, 1), 1, 4},
+		{"forest-union-4", gen.ForestUnion(300, 4, 2), 4, 16},
+		{"K12", gen.Clique(12), 6, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var cost dist.Cost
+			est, err := EstimateDegeneracy(tc.g, &cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est < tc.min || est > tc.max {
+				t.Fatalf("estimate = %d, want in [%d, %d]", est, tc.min, tc.max)
+			}
+			if cost.Rounds() == 0 {
+				t.Fatal("no rounds charged")
+			}
+		})
+	}
+}
+
+func TestEstimateDegeneracyEmpty(t *testing.T) {
+	if est, err := EstimateDegeneracy(graph.MustNew(0, nil), nil); err != nil || est != 0 {
+		t.Fatalf("est=%d err=%v", est, err)
+	}
+}

@@ -1,0 +1,133 @@
+package lll
+
+import (
+	"testing"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/rng"
+)
+
+// hypergraph 2-coloring: each hyperedge of size k is "bad" when
+// monochromatic; each vertex appears in few edges, so the LLL applies.
+type hyper2col struct {
+	edges  [][]int32
+	colors []bool
+	r      *rng.Source
+}
+
+func (h *hyper2col) instance() Instance {
+	return Instance{
+		NumEvents: len(h.edges),
+		Vars:      func(i int) []int32 { return h.edges[i] },
+		Bad: func(i int) bool {
+			first := h.colors[h.edges[i][0]]
+			for _, v := range h.edges[i][1:] {
+				if h.colors[v] != first {
+					return false
+				}
+			}
+			return true
+		},
+		Resample: func(v int32) { h.colors[v] = h.r.Bernoulli(0.5) },
+	}
+}
+
+func TestSolveHypergraphColoring(t *testing.T) {
+	// 600 vertices, hyperedges of size 8; each vertex in ~4 edges:
+	// p = 2^-7, d ~ 32, e*p*d^2 ~ 0.02 < 1.
+	r := rng.New(42)
+	n := 600
+	var edges [][]int32
+	for i := 0; i+8 <= n; i += 2 {
+		edge := make([]int32, 8)
+		for j := range edge {
+			edge[j] = int32((i + j*37) % n)
+		}
+		// Skip degenerate edges with repeated vertices.
+		seen := map[int32]bool{}
+		ok := true
+		for _, v := range edge {
+			if seen[v] {
+				ok = false
+				break
+			}
+			seen[v] = true
+		}
+		if ok {
+			edges = append(edges, edge)
+		}
+	}
+	h := &hyper2col{edges: edges, colors: make([]bool, n), r: r}
+	// All-false start: every edge is monochromatic; the solver must fix all.
+	var cost dist.Cost
+	iters, err := Solve(h.instance(), 10000, &cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("expected at least one iteration from the all-equal start")
+	}
+	inst := h.instance()
+	for i := 0; i < inst.NumEvents; i++ {
+		if inst.Bad(i) {
+			t.Fatalf("event %d still bad after Solve", i)
+		}
+	}
+	if cost.Rounds() == 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestSolveAlreadySatisfied(t *testing.T) {
+	inst := Instance{
+		NumEvents: 5,
+		Vars:      func(int) []int32 { return nil },
+		Bad:       func(int) bool { return false },
+		Resample:  func(int32) {},
+	}
+	iters, err := Solve(inst, 10, nil)
+	if err != nil || iters != 0 {
+		t.Fatalf("iters=%d err=%v, want 0, nil", iters, err)
+	}
+}
+
+func TestSolveImpossibleTimesOut(t *testing.T) {
+	inst := Instance{
+		NumEvents: 1,
+		Vars:      func(int) []int32 { return []int32{0} },
+		Bad:       func(int) bool { return true }, // unfixable
+		Resample:  func(int32) {},
+	}
+	if _, err := Solve(inst, 7, nil); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestSolveResamplesOnlyIndependentSets(t *testing.T) {
+	// Two events share variable 0; in one iteration only one of them may
+	// resample it. We detect double-resampling by counting.
+	count := 0
+	bad := true
+	inst := Instance{
+		NumEvents: 2,
+		Vars:      func(i int) []int32 { return []int32{0, int32(i + 1)} },
+		Bad:       func(i int) bool { return bad },
+		Resample: func(v int32) {
+			if v == 0 {
+				count++
+			}
+		},
+	}
+	// Run exactly one iteration by making events good afterwards.
+	wrapped := inst
+	wrapped.Resample = func(v int32) {
+		inst.Resample(v)
+		bad = false
+	}
+	if _, err := Solve(wrapped, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("variable 0 resampled %d times in one iteration, want 1", count)
+	}
+}

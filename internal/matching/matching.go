@@ -1,0 +1,98 @@
+// Package matching implements Hopcroft-Karp maximum bipartite matching.
+//
+// Section 5 of the paper matches, at every vertex v, the colors of v's
+// palette (left side) against v's out-neighbors (right side) in the
+// bipartite graph H_v; the size of that matching determines how many of
+// v's out-edges get star colors (Proposition 5.1).
+package matching
+
+// Bipartite is a bipartite graph with nL left and nR right vertices and
+// adjacency listed from the left side.
+type Bipartite struct {
+	nL, nR int
+	adj    [][]int32
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite(nL, nR int) *Bipartite {
+	return &Bipartite{nL: nL, nR: nR, adj: make([][]int32, nL)}
+}
+
+// AddEdge adds an edge between left vertex l and right vertex r.
+func (b *Bipartite) AddEdge(l, r int) {
+	b.adj[l] = append(b.adj[l], int32(r))
+}
+
+// NL returns the number of left vertices.
+func (b *Bipartite) NL() int { return b.nL }
+
+// NR returns the number of right vertices.
+func (b *Bipartite) NR() int { return b.nR }
+
+const none = int32(-1)
+
+// MaxMatching computes a maximum matching. matchL[l] is the right vertex
+// matched to l (or -1), matchR[r] the left vertex matched to r (or -1).
+func (b *Bipartite) MaxMatching() (matchL, matchR []int32, size int) {
+	matchL = make([]int32, b.nL)
+	matchR = make([]int32, b.nR)
+	for i := range matchL {
+		matchL[i] = none
+	}
+	for i := range matchR {
+		matchR[i] = none
+	}
+	dist := make([]int32, b.nL)
+	queue := make([]int32, 0, b.nL)
+
+	// bfs layers the free left vertices; returns whether an augmenting
+	// path exists.
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < b.nL; l++ {
+			if matchL[l] == none {
+				dist[l] = 0
+				queue = append(queue, int32(l))
+			} else {
+				dist[l] = -1
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			l := queue[head]
+			for _, r := range b.adj[l] {
+				l2 := matchR[r]
+				if l2 == none {
+					found = true
+				} else if dist[l2] == -1 {
+					dist[l2] = dist[l] + 1
+					queue = append(queue, l2)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, r := range b.adj[l] {
+			l2 := matchR[r]
+			if l2 == none || (dist[l2] == dist[l]+1 && dfs(l2)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = -1
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < b.nL; l++ {
+			if matchL[l] == none && dfs(int32(l)) {
+				size++
+			}
+		}
+	}
+	return matchL, matchR, size
+}

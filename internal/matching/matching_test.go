@@ -1,0 +1,162 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nwforest/internal/rng"
+)
+
+func TestPerfectMatching(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	_, _, size := b.MaxMatching()
+	if size != 3 {
+		t.Fatalf("matching size = %d, want 3", size)
+	}
+}
+
+func TestBlockedMatching(t *testing.T) {
+	// Both left vertices only see right vertex 0.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	_, _, size := b.MaxMatching()
+	if size != 1 {
+		t.Fatalf("matching size = %d, want 1", size)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	b := NewBipartite(0, 0)
+	if _, _, size := b.MaxMatching(); size != 0 {
+		t.Fatalf("empty matching size = %d", size)
+	}
+	b = NewBipartite(3, 4)
+	if _, _, size := b.MaxMatching(); size != 0 {
+		t.Fatalf("edgeless matching size = %d", size)
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Greedy l0->r0 blocks l1 unless the path augments: l0-r0, l0-r1, l1-r0.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	matchL, matchR, size := b.MaxMatching()
+	if size != 2 {
+		t.Fatalf("matching size = %d, want 2", size)
+	}
+	if matchL[0] != 1 || matchL[1] != 0 {
+		t.Fatalf("matchL = %v, want [1 0]", matchL)
+	}
+	if matchR[0] != 1 || matchR[1] != 0 {
+		t.Fatalf("matchR = %v, want [1 0]", matchR)
+	}
+}
+
+// consistent checks the matching invariants: matched pairs are mutual and
+// every matched edge exists in the graph.
+func consistent(b *Bipartite, matchL, matchR []int32) bool {
+	for l := 0; l < b.NL(); l++ {
+		r := matchL[l]
+		if r == -1 {
+			continue
+		}
+		if matchR[r] != int32(l) {
+			return false
+		}
+		ok := false
+		for _, rr := range b.adj[l] {
+			if rr == r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for r := 0; r < b.NR(); r++ {
+		if l := matchR[r]; l != -1 && matchL[l] != int32(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxMatchingBrute computes the maximum matching size by augmenting-path
+// search without layering (correct, slower).
+func maxMatchingBrute(b *Bipartite) int {
+	matchR := make([]int32, b.nR)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(l int32, seen []bool) bool
+	try = func(l int32, seen []bool) bool {
+		for _, r := range b.adj[l] {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if matchR[r] == -1 || try(matchR[r], seen) {
+				matchR[r] = l
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for l := 0; l < b.nL; l++ {
+		if try(int32(l), make([]bool, b.nR)) {
+			size++
+		}
+	}
+	return size
+}
+
+func TestRandomAgainstBrute(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nL := 1 + r.Intn(12)
+		nR := 1 + r.Intn(12)
+		b := NewBipartite(nL, nR)
+		for l := 0; l < nL; l++ {
+			for rr := 0; rr < nR; rr++ {
+				if r.Bernoulli(0.3) {
+					b.AddEdge(l, rr)
+				}
+			}
+		}
+		matchL, matchR, size := b.MaxMatching()
+		if !consistent(b, matchL, matchR) {
+			return false
+		}
+		return size == maxMatchingBrute(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatching(b *testing.B) {
+	r := rng.New(1)
+	const n = 64
+	bg := NewBipartite(n, n)
+	for l := 0; l < n; l++ {
+		for rr := 0; rr < n; rr++ {
+			if r.Bernoulli(0.2) {
+				bg.AddEdge(l, rr)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bg.MaxMatching()
+	}
+}

@@ -1,0 +1,263 @@
+// Package netdecomp implements the two network decompositions the paper
+// relies on:
+//
+//   - Decompose: a randomized (O(log n), O(log n)) network decomposition
+//     in the style of Linial-Saks [LS93] / Elkin-Neiman [EN16], computed
+//     on the power graph G^unit (vertices within distance unit are
+//     adjacent). Same-class clusters of distinct centers are non-adjacent
+//     in G^unit, i.e. at G-distance > unit; cluster weak radius is at most
+//     MaxRadius*unit hops in G. Algorithm 2 of the paper uses this with
+//     unit = 2(R+R').
+//
+//   - Partial: the Miller-Peng-Xu [MPX13] exponential-shift clustering,
+//     a (O(log n / beta), beta) partial network decomposition: every
+//     cluster has radius O(log n / beta) and each edge is cut (endpoints
+//     in different clusters) with probability at most ~beta. Theorem 4.9
+//     uses one independent sample per color.
+package netdecomp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/graph"
+	"nwforest/internal/rng"
+)
+
+// ND is a network decomposition: every vertex has a class and a cluster
+// center; vertices sharing (class, center) form one cluster.
+type ND struct {
+	Class      []int32
+	Center     []int32
+	NumClasses int
+	// MaxRadius bounds every vertex's G-distance to its center by
+	// MaxRadius (already scaled by unit).
+	MaxRadius int
+}
+
+// Clusters returns the members of every cluster of the given class.
+func (nd *ND) Clusters(class int32) map[int32][]int32 {
+	out := make(map[int32][]int32)
+	for v, cl := range nd.Class {
+		if cl == class {
+			out[nd.Center[v]] = append(out[nd.Center[v]], int32(v))
+		}
+	}
+	return out
+}
+
+// Decompose computes a network decomposition of the power graph G^unit
+// with O(log n) classes and cluster radius O(log n) (in power-graph hops,
+// so O(unit*log n) in G). Randomness is drawn from seed. The consumed
+// LOCAL rounds (O(unit * log^2 n)) are charged to cost.
+func Decompose(g *graph.Graph, unit int, seed uint64, cost *dist.Cost) (*ND, error) {
+	n := g.N()
+	nd := &ND{
+		Class:  make([]int32, n),
+		Center: make([]int32, n),
+	}
+	if n == 0 {
+		return nd, nil
+	}
+	if unit < 1 {
+		return nil, fmt.Errorf("netdecomp: unit must be >= 1, got %d", unit)
+	}
+	for i := range nd.Class {
+		nd.Class[i] = -1
+		nd.Center[i] = -1
+	}
+	log2n := int(math.Ceil(math.Log2(float64(n + 1))))
+	maxR := 2*log2n + 3        // truncation of the geometric radii
+	maxClasses := 8*log2n + 16 // w.h.p. bound with generous slack
+	src := rng.New(seed)
+
+	remaining := make([]bool, n)
+	remainingCount := n
+	for i := range remaining {
+		remaining[i] = true
+	}
+
+	// Scratch arrays reused across classes.
+	stamp := make([]int32, n) // BFS visit stamps, one per candidate
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	budget := make([]int32, n) // best token budget seen at each vertex
+	claimCenter := make([]int32, n)
+	claimDist := make([]int32, n) // G-distance from claiming center
+
+	for class := 0; remainingCount > 0; class++ {
+		if class >= maxClasses {
+			return nil, fmt.Errorf("netdecomp: exceeded %d classes (n=%d)", maxClasses, n)
+		}
+		classSrc := src.Split(uint64(class))
+		// Every remaining vertex is a candidate center with a truncated
+		// geometric radius >= 1 (in power-graph hops).
+		radius := make([]int32, n)
+		type cand struct {
+			v int32
+			r int32
+		}
+		cands := make([]cand, 0, remainingCount)
+		for v := 0; v < n; v++ {
+			if !remaining[v] {
+				continue
+			}
+			r := int32(1 + classSrc.Split(uint64(v)).Geometric(0.5))
+			if r > int32(maxR) {
+				r = int32(maxR)
+			}
+			radius[v] = r
+			cands = append(cands, cand{v: int32(v), r: r})
+		}
+		// Strongest candidates first: larger radius, then larger ID.
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].r != cands[j].r {
+				return cands[i].r > cands[j].r
+			}
+			return cands[i].v > cands[j].v
+		})
+		for i := range budget {
+			budget[i] = -1
+			claimCenter[i] = -1
+			claimDist[i] = -1
+		}
+		// Race the candidate tokens in strength order. A token from u may
+		// travel radius[u]*unit hops; it claims every unclaimed remaining
+		// vertex it reaches. Pruning: a token entering a vertex already
+		// visited by a stronger token with at least as much remaining
+		// budget can go nowhere new.
+		for ci, cd := range cands {
+			u := cd.v
+			startBudget := cd.r * int32(unit)
+			if budget[u] >= startBudget {
+				continue
+			}
+			type qitem struct {
+				v int32
+				b int32 // remaining hops
+			}
+			queue := []qitem{{v: u, b: startBudget}}
+			stamp[u] = int32(ci)
+			budget[u] = startBudget
+			if claimCenter[u] == -1 && remaining[u] {
+				claimCenter[u] = u
+				claimDist[u] = 0
+			}
+			for head := 0; head < len(queue); head++ {
+				it := queue[head]
+				if it.b == 0 {
+					continue
+				}
+				for _, a := range g.Adj(it.v) {
+					w := a.To
+					if stamp[w] == int32(ci) || budget[w] >= it.b-1 {
+						continue
+					}
+					stamp[w] = int32(ci)
+					budget[w] = it.b - 1
+					if claimCenter[w] == -1 && remaining[w] {
+						claimCenter[w] = u
+						claimDist[w] = startBudget - (it.b - 1)
+					}
+					queue = append(queue, qitem{v: w, b: it.b - 1})
+				}
+			}
+		}
+		// Interior vertices (power-distance strictly below the center's
+		// radius) join this class; boundary vertices wait for a later one.
+		for v := 0; v < n; v++ {
+			if !remaining[v] || claimCenter[v] == -1 {
+				continue
+			}
+			c := claimCenter[v]
+			if int(claimDist[v]) <= int(radius[c]-1)*unit {
+				nd.Class[v] = int32(class)
+				nd.Center[v] = c
+				remaining[v] = false
+				remainingCount--
+			}
+		}
+		nd.NumClasses = class + 1
+		cost.Charge(2*maxR*unit, "netdecomp/class")
+	}
+	nd.MaxRadius = maxR * unit
+	return nd, nil
+}
+
+// Partial computes an MPX exponential-shift clustering: every vertex joins
+// the cluster of the center minimizing dist(u,v) - delta_u, where delta_u
+// is an Exp(beta) shift. It returns the cluster center of each vertex.
+// Cluster radius is O(log n / beta) w.h.p. and each edge is cut with
+// probability at most ~beta. Charged O(log n / beta) rounds.
+func Partial(g *graph.Graph, beta float64, seed uint64, cost *dist.Cost) []int32 {
+	n := g.N()
+	center := make([]int32, n)
+	if n == 0 {
+		return center
+	}
+	if beta <= 0 || beta > 1 {
+		panic(fmt.Sprintf("netdecomp: beta %v out of (0,1]", beta))
+	}
+	src := rng.New(seed)
+	delta := make([]float64, n)
+	maxDelta := 0.0
+	for v := 0; v < n; v++ {
+		delta[v] = src.Split(uint64(v)).Exp(beta)
+		if delta[v] > maxDelta {
+			maxDelta = delta[v]
+		}
+	}
+	// Dijkstra from all vertices with start time maxDelta - delta_v: the
+	// earliest-arriving shifted wave claims each vertex.
+	const unclaimed = int32(-1)
+	for i := range center {
+		center[i] = unclaimed
+	}
+	pq := &waveHeap{}
+	for v := 0; v < n; v++ {
+		heap.Push(pq, wave{time: maxDelta - delta[v], v: int32(v), center: int32(v)})
+	}
+	for pq.Len() > 0 {
+		w := heap.Pop(pq).(wave)
+		if center[w.v] != unclaimed {
+			continue
+		}
+		center[w.v] = w.center
+		for _, a := range g.Adj(w.v) {
+			if center[a.To] == unclaimed {
+				heap.Push(pq, wave{time: w.time + 1, v: a.To, center: w.center})
+			}
+		}
+	}
+	cost.Charge(int(math.Ceil(maxDelta))+1, "netdecomp/partial")
+	return center
+}
+
+type wave struct {
+	time   float64
+	v      int32
+	center int32
+}
+
+type waveHeap []wave
+
+func (h waveHeap) Len() int { return len(h) }
+func (h waveHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].center < h[j].center // deterministic tie-break
+}
+func (h waveHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waveHeap) Push(x any)   { *h = append(*h, x.(wave)) }
+func (h *waveHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,220 @@
+package netdecomp
+
+import (
+	"testing"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+)
+
+// checkSeparation verifies the defining property: vertices of the same
+// class with different centers are at G-distance > unit.
+func checkSeparation(t *testing.T, g *graph.Graph, nd *ND, unit int) {
+	t.Helper()
+	for v := int32(0); int(v) < g.N(); v++ {
+		vClass, vCenter := nd.Class[v], nd.Center[v]
+		g.BFS([]int32{v}, unit, func(w int32, d int) {
+			if w == v || d > unit {
+				return
+			}
+			if nd.Class[w] == vClass && nd.Center[w] != vCenter {
+				t.Fatalf("vertices %d and %d: same class %d, centers %d vs %d, distance %d <= unit %d",
+					v, w, vClass, vCenter, nd.Center[v], d, unit)
+			}
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// checkAssigned verifies every vertex has a class and a center within the
+// radius bound.
+func checkAssigned(t *testing.T, g *graph.Graph, nd *ND) {
+	t.Helper()
+	for v := int32(0); int(v) < g.N(); v++ {
+		if nd.Class[v] < 0 || nd.Center[v] < 0 {
+			t.Fatalf("vertex %d unassigned: class=%d center=%d", v, nd.Class[v], nd.Center[v])
+		}
+		if d := g.Dist(nd.Center[v], v); d < 0 || d > nd.MaxRadius {
+			t.Fatalf("vertex %d at distance %d from center %d (MaxRadius %d)",
+				v, d, nd.Center[v], nd.MaxRadius)
+		}
+	}
+}
+
+func TestDecomposeGridUnit1(t *testing.T) {
+	g := gen.Grid(12, 12)
+	var cost dist.Cost
+	nd, err := Decompose(g, 1, 7, &cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssigned(t, g, nd)
+	checkSeparation(t, g, nd, 1)
+	if nd.NumClasses < 1 || nd.NumClasses > 80 {
+		t.Fatalf("NumClasses = %d", nd.NumClasses)
+	}
+	if cost.Rounds() == 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestDecomposeForestUnionUnit3(t *testing.T) {
+	g := gen.ForestUnion(300, 3, 5)
+	nd, err := Decompose(g, 3, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssigned(t, g, nd)
+	checkSeparation(t, g, nd, 3)
+}
+
+func TestDecomposeTreeLargeUnit(t *testing.T) {
+	g := gen.RandomTree(400, 2)
+	nd, err := Decompose(g, 8, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssigned(t, g, nd)
+	checkSeparation(t, g, nd, 8)
+}
+
+func TestDecomposeDisconnected(t *testing.T) {
+	// Two disjoint triangles.
+	g := graph.MustNew(6, []graph.Edge{
+		graph.E(0, 1), graph.E(1, 2), graph.E(2, 0),
+		graph.E(3, 4), graph.E(4, 5), graph.E(5, 3),
+	})
+	nd, err := Decompose(g, 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssigned(t, g, nd)
+	checkSeparation(t, g, nd, 2)
+}
+
+func TestDecomposeEmptyAndUnitValidation(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	if _, err := Decompose(g, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	g = gen.Grid(3, 3)
+	if _, err := Decompose(g, 0, 1, nil); err == nil {
+		t.Fatal("unit=0 accepted")
+	}
+}
+
+func TestDecomposeDeterministic(t *testing.T) {
+	g := gen.ForestUnion(100, 2, 3)
+	a, err := Decompose(g, 2, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompose(g, 2, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Class {
+		if a.Class[v] != b.Class[v] || a.Center[v] != b.Center[v] {
+			t.Fatal("same seed gave different decompositions")
+		}
+	}
+}
+
+func TestClustersAccessor(t *testing.T) {
+	g := gen.Grid(6, 6)
+	nd, err := Decompose(g, 1, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for class := int32(0); class < int32(nd.NumClasses); class++ {
+		for center, members := range nd.Clusters(class) {
+			total += len(members)
+			for _, v := range members {
+				if nd.Center[v] != center || nd.Class[v] != class {
+					t.Fatal("Clusters returned inconsistent membership")
+				}
+			}
+		}
+	}
+	if total != g.N() {
+		t.Fatalf("clusters cover %d of %d vertices", total, g.N())
+	}
+}
+
+func TestPartialCoversAllAndRadius(t *testing.T) {
+	g := gen.ForestUnion(500, 3, 13)
+	var cost dist.Cost
+	center := Partial(g, 0.2, 3, &cost)
+	for v := int32(0); int(v) < g.N(); v++ {
+		if center[v] < 0 {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	if cost.Rounds() == 0 {
+		t.Fatal("no rounds charged")
+	}
+	// Radius bound: generous O(log n / beta) check.
+	maxR := 0
+	for v := int32(0); int(v) < g.N(); v++ {
+		if d := g.Dist(center[v], v); d > maxR {
+			maxR = d
+		}
+	}
+	if maxR > 400 {
+		t.Fatalf("cluster radius %d too large", maxR)
+	}
+}
+
+func TestPartialCutFraction(t *testing.T) {
+	// Each edge should be cut with probability ~beta; across a few seeds
+	// the average cut fraction must stay well below 4*beta.
+	g := gen.Grid(30, 30)
+	beta := 0.1
+	totalCut, totalEdges := 0, 0
+	for seed := uint64(0); seed < 5; seed++ {
+		center := Partial(g, beta, seed, nil)
+		for _, e := range g.Edges() {
+			if center[e.U] != center[e.V] {
+				totalCut++
+			}
+			totalEdges++
+		}
+	}
+	frac := float64(totalCut) / float64(totalEdges)
+	if frac > 4*beta {
+		t.Fatalf("cut fraction %v exceeds 4*beta = %v", frac, 4*beta)
+	}
+}
+
+func TestPartialDeterministic(t *testing.T) {
+	g := gen.Grid(10, 10)
+	a := Partial(g, 0.3, 5, nil)
+	b := Partial(g, 0.3, 5, nil)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("same seed gave different clusterings")
+		}
+	}
+}
+
+func TestPartialClustersConnected(t *testing.T) {
+	// Every MPX cluster is connected: a vertex is claimed by a wave that
+	// passed through a same-cluster neighbor.
+	g := gen.Grid(15, 15)
+	center := Partial(g, 0.15, 8, nil)
+	members := make(map[int32][]int32)
+	for v, c := range center {
+		members[c] = append(members[c], int32(v))
+	}
+	for c, vs := range members {
+		sub, _, _ := g.InducedSubgraph(vs)
+		_, comps := sub.Components()
+		if comps != 1 {
+			t.Fatalf("cluster of center %d has %d components", c, comps)
+		}
+	}
+}

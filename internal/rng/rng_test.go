@@ -1,0 +1,234 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times in 1000 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split(5)
+	b := New(9).Split(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const trials = 200000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(5)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(6)
+	const trials = 200000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += s.Exp(2.0)
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(8)
+	const trials = 100000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += s.Geometric(0.25)
+	}
+	mean := float64(sum) / trials
+	// Mean of Geometric(p) counting failures is (1-p)/p = 3.
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("Geometric(0.25) mean = %v, want ~3", mean)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 50; i++ {
+		if g := s.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%50)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%40)
+		k := int(seed>>8) % (n + 1)
+		out := s.Sample(n, k)
+		if len(out) != k {
+			return false
+		}
+		for i, v := range out {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && out[i-1] >= v { // strictly increasing => distinct
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	// Each element of [0,6) should appear in a 3-subset with prob 1/2.
+	s := New(77)
+	counts := make([]int, 6)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		for _, v := range s.Sample(6, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		rate := float64(c) / trials
+		if math.Abs(rate-0.5) > 0.01 {
+			t.Fatalf("element %d appears with rate %v, want ~0.5", v, rate)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(13)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d lost by Shuffle", i)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,78 @@
+// Package unionfind implements a disjoint-set (union-find) data structure
+// with union by rank and path compression.
+//
+// It is used throughout the module for cycle detection in candidate forests
+// and for connected-component bookkeeping in the verifiers.
+package unionfind
+
+// DSU is a disjoint-set union structure over the integers [0, n).
+// The zero value is not usable; construct with New.
+type DSU struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// New returns a DSU with n singleton sets {0}, {1}, ..., {n-1}.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Len returns the size of the underlying universe.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Count returns the current number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	root := x
+	for int(d.parent[root]) != root {
+		root = int(d.parent[root])
+	}
+	// Path compression.
+	for int(d.parent[x]) != root {
+		next := int(d.parent[x])
+		d.parent[x] = int32(root)
+		x = next
+	}
+	return root
+}
+
+// Union merges the sets containing x and y. It reports whether a merge
+// happened (false means x and y were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = int32(rx)
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Reset restores the DSU to n singleton sets without reallocating.
+func (d *DSU) Reset() {
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+	}
+	d.count = len(d.parent)
+}

@@ -1,0 +1,159 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", d.Count())
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", d.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, d.Find(i), i)
+		}
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	d := New(4)
+	if !d.Union(0, 1) {
+		t.Fatal("Union(0,1) = false, want true")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("second Union(0,1) = true, want false")
+	}
+	if !d.Same(0, 1) {
+		t.Fatal("Same(0,1) = false after union")
+	}
+	if d.Same(0, 2) {
+		t.Fatal("Same(0,2) = true without union")
+	}
+	if d.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", d.Count())
+	}
+}
+
+func TestUnionTransitive(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(1, 2)
+	for _, pair := range [][2]int{{0, 3}, {1, 3}, {0, 2}} {
+		if !d.Same(pair[0], pair[1]) {
+			t.Errorf("Same(%d,%d) = false, want true", pair[0], pair[1])
+		}
+	}
+	if d.Same(0, 4) || d.Same(3, 5) {
+		t.Error("disjoint elements reported as same")
+	}
+	if d.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", d.Count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if d.Count() != 4 {
+		t.Fatalf("Count() after reset = %d, want 4", d.Count())
+	}
+	if d.Same(0, 1) {
+		t.Fatal("Same(0,1) = true after reset")
+	}
+}
+
+func TestZeroAndOneElement(t *testing.T) {
+	d := New(0)
+	if d.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", d.Count())
+	}
+	d = New(1)
+	if d.Find(0) != 0 {
+		t.Fatal("Find(0) != 0 on singleton universe")
+	}
+}
+
+// TestCountMatchesComponents checks, with random union sequences, that
+// Count() always equals the number of distinct representatives.
+func TestCountMatchesComponents(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		d := New(n)
+		for k := 0; k < 2*n; k++ {
+			d.Union(r.Intn(n), r.Intn(n))
+			reps := map[int]bool{}
+			for i := 0; i < n; i++ {
+				reps[d.Find(i)] = true
+			}
+			if len(reps) != d.Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgainstNaive cross-checks Same() against a naive O(n^2) labeling.
+func TestAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		d := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		for k := 0; k < 3*n; k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			d.Union(a, b)
+			la, lb := label[a], label[b]
+			if la != lb {
+				for i := range label {
+					if label[i] == lb {
+						label[i] = la
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if d.Same(i, j) != (label[i] == label[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 14
+	r := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package nwforest is a Go implementation of the distributed
+// Nash-Williams forest-decomposition and star-forest-decomposition
+// algorithms of Harris, Su and Vu, "On the Locality of Nash-Williams
+// Forest Decomposition and Star-Forest Decomposition" (PODC 2021).
+//
+// Given a multigraph of arboricity α, the package partitions its edges
+// into close to (1+ε)·α forests — the Nash-Williams bound — using only
+// local computation: the algorithms are simulations of LOCAL-model
+// distributed protocols, and every result reports the number of
+// synchronous communication rounds the protocol would take.
+//
+// Entry points:
+//
+//   - Decompose: (1+ε)α-forest decomposition (paper Theorem 4.6);
+//   - DecomposeList: list forest decomposition, each edge coloring from
+//     its own palette (Theorem 4.10);
+//   - DecomposeStars: star-forest decomposition of simple graphs
+//     (Theorem 5.4), optionally with lists;
+//   - DecomposeStarsList24: the (4+ε)α*-list-star-forest decomposition
+//     for multigraphs (Theorem 2.3);
+//   - DecomposeBE: the Barenboim-Elkin (2+ε)α baseline (Theorem 2.1);
+//   - Orient: (1+ε)α-orientation via decompose-then-root (Corollary 1.1);
+//   - Arboricity / PseudoArboricity: exact centralized references
+//     (Gabow-Westermann; path reversal).
+//
+// All randomness is deterministic given Options.Seed.
+package nwforest
+
+import (
+	"fmt"
+
+	"nwforest/internal/core"
+	"nwforest/internal/dist"
+	"nwforest/internal/exact"
+	"nwforest/internal/graph"
+	"nwforest/internal/hpartition"
+	"nwforest/internal/orient"
+	"nwforest/internal/verify"
+)
+
+// Graph is an undirected multigraph on vertices 0..N-1. Parallel edges
+// are allowed; self-loops are not.
+type Graph = graph.Graph
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// NewGraph builds a graph on n vertices from (u, v) pairs.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	es := make([]Edge, len(edges))
+	for i, e := range edges {
+		es[i] = graph.E(int32(e[0]), int32(e[1]))
+	}
+	return graph.New(n, es)
+}
+
+// Options configures the decomposition algorithms.
+type Options struct {
+	// Alpha is a globally known upper bound on the arboricity (required;
+	// use Arboricity to compute it exactly when unknown).
+	Alpha int
+	// Eps is the excess parameter ε in (0, 1]; the decompositions target
+	// (1+ε)·Alpha + O(1) forests.
+	Eps float64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// ReduceDiameter additionally caps every monochromatic tree's
+	// diameter at O(1/ε) (Corollary 2.5), costing O(εα) extra forests.
+	ReduceDiameter bool
+	// Sampled switches the CUT procedure to the conditioned-sampling rule
+	// of Theorem 4.2(3)/(4), the regime for small α.
+	Sampled bool
+}
+
+func (o Options) rule() core.CutRule {
+	if o.Sampled {
+		return core.CutSampled
+	}
+	return core.CutModDepth
+}
+
+// Decomposition is a forest decomposition of a graph.
+type Decomposition struct {
+	// Colors[id] is the forest index of edge id.
+	Colors []int32
+	// NumForests is the number of forests used.
+	NumForests int
+	// Diameter is the maximum monochromatic tree diameter.
+	Diameter int
+	// Rounds is the LOCAL round complexity of the run.
+	Rounds int
+	// Phases breaks Rounds down by algorithm phase.
+	Phases []dist.Phase
+}
+
+// Decompose partitions the edges of g into close to (1+ε)·Alpha forests
+// (Theorem 4.6 of the paper).
+func Decompose(g *Graph, opts Options) (*Decomposition, error) {
+	var cost dist.Cost
+	res, err := core.ForestDecomposition(g, core.FDOptions{
+		Alpha:          opts.Alpha,
+		Eps:            opts.Eps,
+		Seed:           opts.Seed,
+		Rule:           opts.rule(),
+		ReduceDiameter: opts.ReduceDiameter,
+	}, &cost)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{
+		Colors:     res.Colors,
+		NumForests: res.NumColors,
+		Diameter:   res.Diameter,
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}, nil
+}
+
+// DecomposeList colors every edge from its own palette so that each color
+// class is a forest (Theorem 4.10). Palettes should have at least
+// ceil((1+ε)·Alpha) colors each.
+func DecomposeList(g *Graph, palettes [][]int32, opts Options) (*Decomposition, error) {
+	var cost dist.Cost
+	res, err := core.ListForestDecomposition(g, core.LFDOptions{
+		Palettes: palettes,
+		Alpha:    opts.Alpha,
+		Eps:      opts.Eps,
+		Seed:     opts.Seed,
+		Rule:     opts.rule(),
+	}, &cost)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{
+		Colors:     res.Colors,
+		NumForests: res.ColorsUsed,
+		Diameter:   verify.MaxForestDiameter(g, res.Colors),
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}, nil
+}
+
+// DecomposeStars partitions the edges of a simple graph into close to
+// (1+ε)·Alpha star forests (Theorem 5.4(1)). If palettes is non-nil, the
+// list variant (Theorem 5.4(2)) is used; palettes then need
+// ~(1+ε)·Alpha + O(εα) colors each.
+func DecomposeStars(g *Graph, palettes [][]int32, opts Options) (*Decomposition, error) {
+	var cost dist.Cost
+	res, err := core.StarForestDecomposition(g, core.SFDOptions{
+		Alpha:    opts.Alpha,
+		Eps:      opts.Eps,
+		Seed:     opts.Seed,
+		Palettes: palettes,
+	}, &cost)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{
+		Colors:     res.Colors,
+		NumForests: res.NumColors,
+		Diameter:   verify.MaxForestDiameter(g, res.Colors),
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}, nil
+}
+
+// DecomposeStarsList24 computes a list star-forest decomposition of a
+// multigraph with palettes of size floor((4+ε)·alphaStar) - 1
+// (Theorem 2.3).
+func DecomposeStarsList24(g *Graph, palettes [][]int32, alphaStar int, eps float64) (*Decomposition, error) {
+	var cost dist.Cost
+	colors, err := core.ListStarForest24(g, palettes, alphaStar, eps, &cost)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{
+		Colors:     colors,
+		NumForests: verify.ColorsUsed(colors),
+		Diameter:   verify.MaxForestDiameter(g, colors),
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}, nil
+}
+
+// DecomposeBE is the Barenboim-Elkin baseline: a (2+ε)·alphaStar forest
+// decomposition via the H-partition in O(log n / ε) rounds
+// (Theorem 2.1(2)+(labels)).
+func DecomposeBE(g *Graph, alphaStar int, eps float64) (*Decomposition, error) {
+	var cost dist.Cost
+	t := hpartition.Threshold(alphaStar, eps)
+	hp, err := hpartition.Partition(g, t, 16*g.N()+64, &cost)
+	if err != nil {
+		return nil, err
+	}
+	colors, err := hpartition.ForestDecomposition(g, hp, &cost)
+	if err != nil {
+		return nil, err
+	}
+	used := int(verify.MaxColor(colors)) + 1
+	return &Decomposition{
+		Colors:     colors,
+		NumForests: used,
+		Diameter:   verify.MaxForestDiameter(g, colors),
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}, nil
+}
+
+// Orientation assigns every edge a direction.
+type Orientation struct {
+	// FromU[id] reports whether edge id points from its U endpoint to V.
+	FromU []bool
+	// MaxOutDegree is the maximum out-degree realized.
+	MaxOutDegree int
+	// Rounds is the LOCAL round complexity.
+	Rounds int
+}
+
+// Orient computes a (1+ε)·Alpha + O(1) orientation by decomposing into
+// forests and orienting every edge toward its tree root (Corollary 1.1).
+func Orient(g *Graph, opts Options) (*Orientation, error) {
+	var cost dist.Cost
+	res, err := core.ForestDecomposition(g, core.FDOptions{
+		Alpha:          opts.Alpha,
+		Eps:            opts.Eps,
+		Seed:           opts.Seed,
+		Rule:           opts.rule(),
+		ReduceDiameter: true, // rooting costs O(diameter) rounds
+	}, &cost)
+	if err != nil {
+		return nil, err
+	}
+	o := orient.FromForestDecomposition(g, res.Colors, &cost)
+	return &Orientation{
+		FromU:        o.FromU,
+		MaxOutDegree: verify.MaxOutDegree(g, o),
+		Rounds:       cost.Rounds(),
+	}, nil
+}
+
+// Arboricity computes the exact arboricity of g with the centralized
+// Gabow-Westermann matroid-union algorithm, together with a witnessing
+// optimal decomposition.
+func Arboricity(g *Graph) (int, []int32) { return exact.Arboricity(g) }
+
+// PseudoArboricity computes the exact pseudo-arboricity (the minimum
+// possible maximum out-degree over all orientations).
+func PseudoArboricity(g *Graph) int { return orient.PseudoArboricity(g) }
+
+// Verify checks that colors is a valid forest decomposition of g into
+// numForests forests; it returns nil on success.
+func Verify(g *Graph, colors []int32, numForests int) error {
+	return verify.ForestDecomposition(g, colors, numForests)
+}
+
+// VerifyStars checks that colors is a valid star-forest decomposition.
+func VerifyStars(g *Graph, colors []int32, numForests int) error {
+	return verify.StarForestDecomposition(g, colors, numForests)
+}
+
+// Diameter returns the maximum monochromatic tree diameter of a
+// decomposition.
+func Diameter(g *Graph, colors []int32) int {
+	return verify.MaxForestDiameter(g, colors)
+}
+
+// FullPalettes builds m palettes all equal to {0..k-1}; convenient for
+// exercising the list APIs with ordinary colors.
+func FullPalettes(m, k int) [][]int32 {
+	pal := make([]int32, k)
+	for i := range pal {
+		pal[i] = int32(i)
+	}
+	out := make([][]int32, m)
+	for i := range out {
+		out[i] = pal
+	}
+	return out
+}
+
+// String summarizes a decomposition.
+func (d *Decomposition) String() string {
+	return fmt.Sprintf("forests=%d diameter=%d rounds=%d", d.NumForests, d.Diameter, d.Rounds)
+}
+
+// EstimateAlpha computes, by distributed peeling with doubling thresholds,
+// an upper bound on the arboricity of g that is at most ~5x the
+// pseudo-arboricity. Use it to seed Options.Alpha when no bound is known
+// (the paper assumes alpha is globally known; this removes that
+// assumption at a constant-factor loss). It also reports the LOCAL
+// rounds spent.
+func EstimateAlpha(g *Graph) (int, int, error) {
+	var cost dist.Cost
+	est, err := hpartition.EstimateDegeneracy(g, &cost)
+	if err != nil {
+		return 0, 0, err
+	}
+	return est, cost.Rounds(), nil
+}
+
+// DecomposePseudo partitions the edges into close to (1+ε)·Alpha
+// pseudo-forests (graphs with at most one cycle per component) via the
+// orientation of Corollary 1.1.
+func DecomposePseudo(g *Graph, opts Options) (*Decomposition, error) {
+	var cost dist.Cost
+	res, err := core.ForestDecomposition(g, core.FDOptions{
+		Alpha:          opts.Alpha,
+		Eps:            opts.Eps,
+		Seed:           opts.Seed,
+		Rule:           opts.rule(),
+		ReduceDiameter: true,
+	}, &cost)
+	if err != nil {
+		return nil, err
+	}
+	o := orient.FromForestDecomposition(g, res.Colors, &cost)
+	colors := orient.PseudoForestDecomposition(g, o)
+	used := int(verify.MaxColor(colors)) + 1
+	if err := verify.PseudoForestDecomposition(g, colors, used); err != nil {
+		return nil, err
+	}
+	return &Decomposition{
+		Colors:     colors,
+		NumForests: used,
+		Diameter:   -1, // pseudo-forests are not trees; diameter not defined
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}, nil
+}
