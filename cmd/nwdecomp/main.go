@@ -66,7 +66,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "nwdecomp: n=%d m=%d alpha=%d -> %s\n", g.N(), g.M(), a, d)
 	for _, p := range d.Phases {
-		fmt.Fprintf(os.Stderr, "  %-28s %6d rounds\n", p.Label, p.Rounds)
+		if p.Messages > 0 {
+			fmt.Fprintf(os.Stderr, "  %-28s %6d rounds %9d msgs %11d bits\n", p.Name, p.Rounds, p.Messages, p.Bits)
+		} else {
+			fmt.Fprintf(os.Stderr, "  %-28s %6d rounds\n", p.Name, p.Rounds)
+		}
 	}
 	if !*quiet {
 		for _, c := range d.Colors {

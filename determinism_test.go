@@ -1,0 +1,117 @@
+package nwforest_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nwforest"
+	"nwforest/internal/dist"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+)
+
+// withEngineMode runs f under the given engine-wide execution strategy,
+// restoring the default afterwards.
+func withEngineMode(t *testing.T, mode dist.Mode, f func()) {
+	t.Helper()
+	old := dist.DefaultMode
+	dist.DefaultMode = mode
+	defer func() { dist.DefaultMode = old }()
+	f()
+}
+
+func decomposeBoth(t *testing.T, g *graph.Graph, opts nwforest.Options, alphaStar int) (*nwforest.Decomposition, *nwforest.Decomposition) {
+	t.Helper()
+	d, err := nwforest.Decompose(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := nwforest.DecomposeBE(g, alphaStar, opts.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, be
+}
+
+func checkSameDecomposition(t *testing.T, label string, a, b *nwforest.Decomposition) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Colors, b.Colors) {
+		t.Fatalf("%s: Colors differ", label)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("%s: Rounds %d vs %d", label, a.Rounds, b.Rounds)
+	}
+	if !reflect.DeepEqual(a.Phases, b.Phases) {
+		t.Fatalf("%s: Phases differ:\n%+v\nvs\n%+v", label, a.Phases, b.Phases)
+	}
+}
+
+func checkPhasesSumToRounds(t *testing.T, label string, d *nwforest.Decomposition) {
+	t.Helper()
+	sum := 0
+	for _, p := range d.Phases {
+		sum += p.Rounds
+	}
+	if sum != d.Rounds {
+		t.Fatalf("%s: phase rounds sum to %d, Rounds = %d (phases %+v)", label, sum, d.Rounds, d.Phases)
+	}
+}
+
+// TestDecomposeDeterministic pins the engine-level determinism contract
+// at the public API: for a fixed Options.Seed, Decompose and DecomposeBE
+// return identical Colors, Rounds and Phases across repeated runs and
+// across the parallel engine vs. the sequential fallback.
+func TestDecomposeDeterministic(t *testing.T) {
+	g := gen.ForestUnion(400, 5, 13)
+	opts := nwforest.Options{Alpha: 5, Eps: 0.5, Seed: 99}
+
+	var seqD, seqBE, parD, parBE *nwforest.Decomposition
+	withEngineMode(t, dist.Sequential, func() {
+		seqD, seqBE = decomposeBoth(t, g, opts, 5)
+	})
+	withEngineMode(t, dist.Parallel, func() {
+		parD, parBE = decomposeBoth(t, g, opts, 5)
+	})
+	checkSameDecomposition(t, "Decompose seq vs par", seqD, parD)
+	checkSameDecomposition(t, "DecomposeBE seq vs par", seqBE, parBE)
+
+	// Repeated runs under the default mode are also identical.
+	d1, be1 := decomposeBoth(t, g, opts, 5)
+	d2, be2 := decomposeBoth(t, g, opts, 5)
+	checkSameDecomposition(t, "Decompose repeat", d1, d2)
+	checkSameDecomposition(t, "DecomposeBE repeat", be1, be2)
+
+	for _, c := range []struct {
+		label string
+		d     *nwforest.Decomposition
+	}{{"Decompose", d1}, {"DecomposeBE", be1}} {
+		checkPhasesSumToRounds(t, c.label, c.d)
+	}
+}
+
+// TestDecomposeBEReportsTraffic checks the CONGEST counters flow from
+// the engine through the Cost into the public Phases breakdown.
+func TestDecomposeBEReportsTraffic(t *testing.T) {
+	g := gen.ForestUnion(300, 4, 4)
+	d, err := nwforest.DecomposeBE(g, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range d.Phases {
+		if p.Name == "hpartition/peel" {
+			found = true
+			if p.Messages == 0 || p.Bits == 0 {
+				t.Fatalf("peel phase reports no traffic: %+v", p)
+			}
+			// peelMsg is 1 bit, so every removal notification costs
+			// exactly one bit: Bits == Messages.
+			if p.Bits != p.Messages {
+				t.Fatalf("peel traffic %d msgs but %d bits; peelMsg is 1 bit", p.Messages, p.Bits)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no hpartition/peel phase in %+v", d.Phases)
+	}
+}

@@ -1,0 +1,3 @@
+module nwforest
+
+go 1.24

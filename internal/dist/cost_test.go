@@ -1,0 +1,115 @@
+package dist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nwforest/internal/dist"
+)
+
+func TestCostChargeAggregatesByPhaseInFirstChargeOrder(t *testing.T) {
+	var c dist.Cost
+	c.Charge(3, "peel")
+	c.Charge(1, "orient")
+	c.Charge(4, "peel")
+	c.Charge(2, "label")
+	want := []dist.Phase{
+		{Name: "peel", Rounds: 7},
+		{Name: "orient", Rounds: 1},
+		{Name: "label", Rounds: 2},
+	}
+	if got := c.Breakdown(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Breakdown() = %+v, want %+v", got, want)
+	}
+	if c.Rounds() != 10 {
+		t.Fatalf("Rounds() = %d, want 10", c.Rounds())
+	}
+}
+
+func TestCostChargeMaxKeepsPerPhaseMax(t *testing.T) {
+	var c dist.Cost
+	c.ChargeMax(4, "cluster")
+	c.ChargeMax(9, "cluster")
+	c.ChargeMax(6, "cluster")
+	if got := c.Rounds(); got != 9 {
+		t.Fatalf("Rounds() = %d, want 9", got)
+	}
+}
+
+func TestCostChargeVsChargeMaxOrdering(t *testing.T) {
+	// Charge-then-ChargeMax: the max applies to the accumulated total.
+	var a dist.Cost
+	a.Charge(3, "p")
+	a.ChargeMax(5, "p") // raises 3 -> 5
+	a.ChargeMax(2, "p") // no-op, 5 > 2
+	a.Charge(1, "p")    // adds on top
+	if got := a.Rounds(); got != 6 {
+		t.Fatalf("Charge/ChargeMax interleaving: Rounds() = %d, want 6", got)
+	}
+	// ChargeMax-then-Charge: additive charges still accumulate after a max.
+	var b dist.Cost
+	b.ChargeMax(4, "q")
+	b.Charge(2, "q")
+	if got := b.Rounds(); got != 6 {
+		t.Fatalf("ChargeMax-then-Charge: Rounds() = %d, want 6", got)
+	}
+}
+
+func TestCostRoundsIsSumOfBreakdown(t *testing.T) {
+	var c dist.Cost
+	c.Charge(5, "a")
+	c.ChargeMax(3, "b")
+	c.Charge(0, "c") // zero charge still registers the phase
+	sum := 0
+	bd := c.Breakdown()
+	for _, p := range bd {
+		sum += p.Rounds
+	}
+	if len(bd) != 3 {
+		t.Fatalf("len(Breakdown()) = %d, want 3", len(bd))
+	}
+	if sum != c.Rounds() {
+		t.Fatalf("sum of Breakdown = %d, Rounds() = %d", sum, c.Rounds())
+	}
+}
+
+func TestCostMessageCounters(t *testing.T) {
+	var c dist.Cost
+	c.Charge(2, "peel")
+	c.ChargeMessages(10, 320, "peel")
+	c.ChargeMessages(5, 160, "peel")
+	c.ChargeMessages(7, 7, "flood")
+	bd := c.Breakdown()
+	if bd[0].Messages != 15 || bd[0].Bits != 480 {
+		t.Fatalf("phase %q: messages=%d bits=%d, want 15/480", bd[0].Name, bd[0].Messages, bd[0].Bits)
+	}
+	if bd[0].Rounds != 2 {
+		t.Fatalf("ChargeMessages must not change rounds: got %d", bd[0].Rounds)
+	}
+	if c.Messages() != 22 || c.Bits() != 487 {
+		t.Fatalf("totals: messages=%d bits=%d, want 22/487", c.Messages(), c.Bits())
+	}
+}
+
+func TestCostNilReceiverIsSafe(t *testing.T) {
+	var c *dist.Cost
+	c.Charge(5, "x")
+	c.ChargeMax(5, "x")
+	c.ChargeMessages(5, 5, "x")
+	if c.Rounds() != 0 || c.Messages() != 0 || c.Bits() != 0 {
+		t.Fatal("nil Cost must report zero totals")
+	}
+	if c.Breakdown() != nil {
+		t.Fatal("nil Cost must report nil breakdown")
+	}
+}
+
+func TestCostBreakdownIsACopy(t *testing.T) {
+	var c dist.Cost
+	c.Charge(1, "a")
+	bd := c.Breakdown()
+	bd[0].Rounds = 1000
+	if c.Rounds() != 1 {
+		t.Fatal("mutating Breakdown() result leaked into the Cost")
+	}
+}

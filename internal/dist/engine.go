@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nwforest/internal/graph"
+)
+
+// Message is a value sent along one edge port in one synchronous round.
+// Any value may be a message; programs should dispatch on the concrete
+// type (a type switch or assertion), never on bare non-nil-ness — the
+// engine uses nil only to mark "no message on this port" in recv slices,
+// and that sentinel belongs to the engine, not to program protocols.
+// Messages must be treated as immutable once sent: Broadcast and the
+// engine may alias one value across many recipients.
+type Message interface{}
+
+// Sized is optionally implemented by messages that know their CONGEST
+// size; messages without it are charged DefaultMessageBits bits each.
+type Sized interface {
+	// Bits returns the payload size of the message in bits.
+	Bits() int
+}
+
+// DefaultMessageBits is the CONGEST size charged for a message that does
+// not implement Sized: one O(log n)-bit word.
+const DefaultMessageBits = 32
+
+// Program is the per-vertex state machine of a distributed protocol.
+//
+// Step is called once per round. recv has exactly Env.Deg() slots, one
+// per incident edge port in adjacency-list order; recv[p] is the message
+// that arrived on port p this round, or nil if that neighbor sent
+// nothing on the shared edge. The returned slice is the outgoing mail:
+// out[p] is sent along port p (nil sends nothing); it may be shorter
+// than Deg(), in which case the remaining ports send nothing. The
+// returned bool reports whether this program has halted.
+//
+// Contract: Step may read and write only the program's own state and its
+// arguments — never another program's state — and must not retain recv
+// (the engine reuses the backing buffer). Once a program reports done it
+// must keep reporting done and send no further messages; the engine is
+// then free not to step it again. These rules are what make parallel
+// execution bit-identical to sequential execution.
+type Program interface {
+	Step(env *Env, recv []Message) ([]Message, bool)
+}
+
+// Env is the read-only per-vertex context passed to Step.
+type Env struct {
+	// Round is the current round, starting at 0.
+	Round int
+	// V is the vertex this program runs on.
+	V int32
+
+	deg int
+}
+
+// Deg returns the degree of the vertex (counting parallel edges), which
+// is also the number of ports and the length of recv.
+func (e *Env) Deg() int { return e.deg }
+
+// Broadcast returns an outgoing-mail slice that sends msg on every one
+// of deg ports.
+func Broadcast(deg int, msg Message) []Message {
+	out := make([]Message, deg)
+	for i := range out {
+		out[i] = msg
+	}
+	return out
+}
+
+// Mode selects the engine's execution strategy. The two strategies are
+// bit-identical; Mode only affects wall-clock speed.
+type Mode int
+
+const (
+	// Auto runs rounds in parallel when the graph is large enough for
+	// the goroutine overhead to pay off, sequentially otherwise.
+	Auto Mode = iota
+	// Sequential steps all vertices on the calling goroutine.
+	Sequential
+	// Parallel always shards vertices across GOMAXPROCS workers.
+	Parallel
+)
+
+// DefaultMode is the Mode NewEngine gives new engines. It exists so
+// tests (and debugging sessions) can force a whole pipeline onto one
+// strategy without threading an option through every call site.
+var DefaultMode = Auto
+
+// autoThreshold is the vertex count above which Auto goes parallel.
+const autoThreshold = 2048
+
+// ErrMaxRounds is returned (wrapped) by Run when the round budget is
+// exhausted before every program has halted.
+var ErrMaxRounds = errors.New("dist: max rounds exhausted before all programs halted")
+
+// Engine simulates a synchronous message-passing protocol on a graph.
+// An Engine is single-use: build it with NewEngine, call Run once, then
+// read the programs' final states and the traffic counters.
+type Engine struct {
+	g     *graph.Graph
+	progs []Program
+	envs  []Env
+	done  []bool
+	mode  Mode
+
+	// CSR mailboxes: the ports of vertex v are slots off[v]..off[v+1];
+	// rev[s] is the slot of the same edge at the other endpoint. inbox
+	// holds the messages delivered this round, outbox the ones being
+	// sent; they swap between rounds (double buffering).
+	off    []int
+	rev    []int32
+	inbox  []Message
+	outbox []Message
+
+	trafficMu sync.Mutex
+	msgs      int64 // messages sent across the run
+	bits      int64 // total payload bits across the run
+}
+
+// NewEngine builds an engine over g, instantiating one Program per
+// vertex. The factory is called sequentially for v = 0..N-1, so it may
+// record the programs it creates. The engine starts in DefaultMode; use
+// SetMode to override.
+func NewEngine(g *graph.Graph, factory func(v int32) Program) *Engine {
+	n := g.N()
+	e := &Engine{
+		g:     g,
+		progs: make([]Program, n),
+		envs:  make([]Env, n),
+		done:  make([]bool, n),
+		mode:  DefaultMode,
+		off:   make([]int, n+1),
+	}
+	for v := 0; v < n; v++ {
+		e.progs[v] = factory(int32(v))
+		e.envs[v] = Env{V: int32(v), deg: g.Degree(int32(v))}
+		e.off[v+1] = e.off[v] + g.Degree(int32(v))
+	}
+	slots := e.off[n] // = 2M
+	e.rev = make([]int32, slots)
+	e.inbox = make([]Message, slots)
+	e.outbox = make([]Message, slots)
+	first := make([]int32, g.M())
+	for i := range first {
+		first[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		for p, a := range g.Adj(int32(v)) {
+			s := int32(e.off[v] + p)
+			if o := first[a.Edge]; o < 0 {
+				first[a.Edge] = s
+			} else {
+				e.rev[s] = o
+				e.rev[o] = s
+			}
+		}
+	}
+	return e
+}
+
+// SetMode overrides the execution strategy; see Mode.
+func (e *Engine) SetMode(m Mode) { e.mode = m }
+
+// Messages returns the number of messages the run sent (the CONGEST
+// convention: counted at send time, so it includes final-round messages
+// and messages to already-halted vertices that no program reads).
+func (e *Engine) Messages() int64 { return e.msgs }
+
+// Bits returns the total payload size, in bits, of the sent messages
+// (per-message Sized.Bits, or DefaultMessageBits).
+func (e *Engine) Bits() int64 { return e.bits }
+
+// Run executes synchronous rounds until every program has reported done
+// (returning the number of rounds executed) or maxRounds rounds elapse
+// (returning maxRounds and an error wrapping ErrMaxRounds). An engine
+// over the empty graph halts immediately in 0 rounds.
+func (e *Engine) Run(maxRounds int) (int, error) {
+	n := len(e.progs)
+	if n == 0 {
+		return 0, nil
+	}
+	workers := 1
+	if e.mode == Parallel || (e.mode == Auto && n >= autoThreshold) {
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			workers = w
+		}
+	}
+	bounds := e.shard(workers)
+	for round := 0; round < maxRounds; round++ {
+		allDone := true
+		if len(bounds) == 2 { // single worker: stay on this goroutine
+			allDone = e.stepRange(round, 0, n)
+		} else {
+			res := make([]bool, len(bounds)-1)
+			var wg sync.WaitGroup
+			for w := 0; w+1 < len(bounds); w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					res[w] = e.stepRange(round, bounds[w], bounds[w+1])
+				}(w)
+			}
+			wg.Wait()
+			for _, d := range res {
+				allDone = allDone && d
+			}
+		}
+		e.inbox, e.outbox = e.outbox, e.inbox
+		if allDone {
+			return round + 1, nil
+		}
+	}
+	running := 0
+	for _, d := range e.done {
+		if !d {
+			running++
+		}
+	}
+	return maxRounds, fmt.Errorf("dist: %d of %d programs still running after %d rounds: %w",
+		running, n, maxRounds, ErrMaxRounds)
+}
+
+// shard partitions the vertex range into len(bounds)-1 contiguous slices
+// of roughly equal total degree, so workers are load-balanced even on
+// skewed graphs. bounds[0] = 0 and bounds[len-1] = n.
+func (e *Engine) shard(workers int) []int {
+	n := len(e.progs)
+	if workers > n {
+		workers = n
+	}
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	total := e.off[n] + n // weight = degree + 1 so isolated vertices count
+	v := 0
+	for w := 1; w < workers; w++ {
+		target := total * w / workers
+		for v < n && e.off[v]+v < target {
+			v++
+		}
+		bounds = append(bounds, v)
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// stepRange steps the vertices in [lo, hi) for the given round and
+// reports whether all of them are done. Each mailbox slot has exactly
+// one writer (the vertex across that port), so concurrent stepRange
+// calls over disjoint vertex ranges never race. The worker's own inbox
+// range is cleared after use, leaving the buffer all-nil for its next
+// life as outbox. Traffic counters are accumulated locally and merged
+// with one atomic-free addition per worker — sums are order-independent,
+// so the totals are deterministic.
+func (e *Engine) stepRange(round, lo, hi int) bool {
+	allDone := true
+	var msgs, bits int64
+	for v := lo; v < hi; v++ {
+		if e.done[v] {
+			continue
+		}
+		env := &e.envs[v]
+		env.Round = round
+		recv := e.inbox[e.off[v]:e.off[v+1]]
+		out, done := e.progs[v].Step(env, recv)
+		if len(out) > env.deg {
+			panic(fmt.Sprintf("dist: program at vertex %d sent %d messages on %d ports", v, len(out), env.deg))
+		}
+		for p, m := range out {
+			if m == nil {
+				continue
+			}
+			e.outbox[e.rev[e.off[v]+p]] = m
+			msgs++
+			if s, ok := m.(Sized); ok {
+				bits += int64(s.Bits())
+			} else {
+				bits += DefaultMessageBits
+			}
+		}
+		e.done[v] = done
+		allDone = allDone && done
+	}
+	clear(e.inbox[e.off[lo]:e.off[hi]])
+	e.addTraffic(msgs, bits)
+	return allDone
+}
+
+func (e *Engine) addTraffic(msgs, bits int64) {
+	e.trafficMu.Lock()
+	e.msgs += msgs
+	e.bits += bits
+	e.trafficMu.Unlock()
+}

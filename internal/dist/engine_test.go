@@ -1,0 +1,298 @@
+package dist_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"nwforest/internal/dist"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+	"nwforest/internal/rng"
+)
+
+// countdown halts after its counter reaches zero and sends nothing.
+type countdown struct{ left int }
+
+func (p *countdown) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, bool) {
+	if p.left > 0 {
+		p.left--
+		return nil, false
+	}
+	return nil, true
+}
+
+func TestEngineHaltsWhenAllDone(t *testing.T) {
+	g := gen.RandomTree(50, 1)
+	eng := dist.NewEngine(g, func(v int32) dist.Program {
+		return &countdown{left: int(v) % 4}
+	})
+	rounds, err := eng.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slowest program counts down from 3, so it first reports done in
+	// round 3; the engine needs 4 rounds total.
+	if rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", rounds)
+	}
+}
+
+func TestEngineMaxRoundsError(t *testing.T) {
+	g := gen.Clique(5)
+	eng := dist.NewEngine(g, func(v int32) dist.Program {
+		return &countdown{left: 1 << 30} // never halts
+	})
+	rounds, err := eng.Run(17)
+	if err == nil {
+		t.Fatal("expected maxRounds error")
+	}
+	if !errors.Is(err, dist.ErrMaxRounds) {
+		t.Fatalf("error %v does not wrap ErrMaxRounds", err)
+	}
+	if rounds != 17 {
+		t.Fatalf("rounds = %d, want 17", rounds)
+	}
+}
+
+func TestEngineEmptyGraph(t *testing.T) {
+	eng := dist.NewEngine(graph.MustNew(0, nil), func(v int32) dist.Program {
+		t.Fatal("factory called on empty graph")
+		return nil
+	})
+	rounds, err := eng.Run(10)
+	if err != nil || rounds != 0 {
+		t.Fatalf("Run = (%d, %v), want (0, nil)", rounds, err)
+	}
+}
+
+// portEcho sends (sender, edgeID) on every port in round 0 and records
+// what arrives on each port in round 1.
+type portMsg struct {
+	From int32
+	Edge int32
+}
+
+type portEcho struct {
+	g    *graph.Graph
+	v    int32
+	got  []portMsg
+	sent bool
+}
+
+func (p *portEcho) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, bool) {
+	if !p.sent {
+		p.sent = true
+		out := make([]dist.Message, env.Deg())
+		for i, a := range p.g.Adj(p.v) {
+			out[i] = portMsg{From: p.v, Edge: a.Edge}
+		}
+		return out, false
+	}
+	if p.got == nil {
+		p.got = make([]portMsg, env.Deg())
+		for i, m := range recv {
+			p.got[i] = m.(portMsg)
+		}
+	}
+	return nil, true
+}
+
+func TestEnginePerPortDeliveryOnParallelEdges(t *testing.T) {
+	// Edge order chosen so that the same edge sits at different port
+	// indices at its two endpoints: adj(0) = [e0 e2 e3], adj(1) = [e0 e1
+	// e2 e3], adj(2) = [e1].
+	g := graph.MustNew(3, []graph.Edge{
+		graph.E(0, 1), // e0, parallel pair with e2
+		graph.E(1, 2), // e1
+		graph.E(0, 1), // e2
+		graph.E(0, 1), // e3, triple edge
+	})
+	progs := make([]*portEcho, g.N())
+	eng := dist.NewEngine(g, func(v int32) dist.Program {
+		progs[v] = &portEcho{g: g, v: v}
+		return progs[v]
+	})
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range progs {
+		for port, a := range g.Adj(int32(v)) {
+			got := p.got[port]
+			if got.Edge != a.Edge {
+				t.Fatalf("vertex %d port %d: received message for edge %d, want edge %d",
+					v, port, got.Edge, a.Edge)
+			}
+			if got.From != a.To {
+				t.Fatalf("vertex %d port %d: received from %d, want neighbor %d",
+					v, port, got.From, a.To)
+			}
+		}
+	}
+	// 2 ports per edge, every port sent exactly one message.
+	if eng.Messages() != int64(2*g.M()) {
+		t.Fatalf("Messages() = %d, want %d", eng.Messages(), 2*g.M())
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	out := dist.Broadcast(3, portMsg{From: 7})
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+	for _, m := range out {
+		if m.(portMsg).From != 7 {
+			t.Fatalf("unexpected message %v", m)
+		}
+	}
+	if out := dist.Broadcast(0, portMsg{}); len(out) != 0 {
+		t.Fatalf("Broadcast(0) has %d slots", len(out))
+	}
+}
+
+// sizedMsg exercises the Sized interface in traffic accounting.
+type sizedMsg struct{}
+
+func (sizedMsg) Bits() int { return 5 }
+
+func TestEngineTrafficAccounting(t *testing.T) {
+	g := graph.MustNew(2, []graph.Edge{graph.E(0, 1)})
+	eng := dist.NewEngine(g, func(v int32) dist.Program {
+		return &oneShot{sized: v == 0}
+	})
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Messages() != 2 {
+		t.Fatalf("Messages() = %d, want 2", eng.Messages())
+	}
+	want := int64(5 + dist.DefaultMessageBits)
+	if eng.Bits() != want {
+		t.Fatalf("Bits() = %d, want %d", eng.Bits(), want)
+	}
+}
+
+// oneShot broadcasts a single message in round 0, then halts.
+type oneShot struct {
+	sized bool
+	fired bool
+}
+
+func (p *oneShot) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, bool) {
+	if p.fired {
+		return nil, true
+	}
+	p.fired = true
+	if p.sized {
+		return dist.Broadcast(env.Deg(), sizedMsg{}), false
+	}
+	return dist.Broadcast(env.Deg(), portMsg{From: env.V}), false
+}
+
+// gossip is a deterministic data-dependent program: every round it mixes
+// the received payloads into its state, forwards the digest on every
+// port, and halts at a state-dependent round. It gives sequential and
+// parallel runs plenty of chances to diverge if the engine were not
+// bit-identical.
+type gossip struct {
+	state uint64
+	ttl   int
+}
+
+type gossipMsg uint64
+
+func (p *gossip) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, bool) {
+	for port, m := range recv {
+		if gm, ok := m.(gossipMsg); ok {
+			p.state = mix(p.state ^ uint64(gm) ^ uint64(port)*0x9e3779b97f4a7c15)
+		}
+	}
+	if p.ttl <= 0 {
+		return nil, true
+	}
+	p.ttl--
+	out := make([]dist.Message, env.Deg())
+	for i := range out {
+		if (p.state>>uint(i%64))&1 == 1 { // send on a state-dependent subset of ports
+			out[i] = gossipMsg(mix(p.state + uint64(i)))
+		}
+	}
+	return out, false
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+type runResult struct {
+	rounds int
+	states []uint64
+	msgs   int64
+	bits   int64
+}
+
+func runGossip(t *testing.T, g *graph.Graph, seed uint64, mode dist.Mode) runResult {
+	t.Helper()
+	src := rng.New(seed)
+	progs := make([]*gossip, g.N())
+	eng := dist.NewEngine(g, func(v int32) dist.Program {
+		progs[v] = &gossip{
+			state: src.Split(uint64(v)).Uint64(),
+			ttl:   3 + src.Split(uint64(v)+1<<32).Intn(8),
+		}
+		return progs[v]
+	})
+	eng.SetMode(mode)
+	rounds, err := eng.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]uint64, g.N())
+	for v, p := range progs {
+		states[v] = p.state
+	}
+	return runResult{rounds: rounds, states: states, msgs: eng.Messages(), bits: eng.Bits()}
+}
+
+func TestEngineSequentialParallelEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.MultiplyEdges(gen.Gnm(500, 2000, 7), 2),
+		gen.MultiplyEdges(gen.BarabasiAlbert(800, 4, 11), 3),
+		gen.LineMultigraph(200, 5),
+		gen.MultiplyEdges(gen.Grid(20, 20), 2),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(1); seed <= 3; seed++ {
+			seq := runGossip(t, g, seed, dist.Sequential)
+			par := runGossip(t, g, seed, dist.Parallel)
+			if seq.rounds != par.rounds {
+				t.Fatalf("graph %d seed %d: rounds %d (seq) vs %d (par)", gi, seed, seq.rounds, par.rounds)
+			}
+			if !reflect.DeepEqual(seq.states, par.states) {
+				t.Fatalf("graph %d seed %d: final states diverge between modes", gi, seed)
+			}
+			if seq.msgs != par.msgs || seq.bits != par.bits {
+				t.Fatalf("graph %d seed %d: traffic diverges: seq %d/%d, par %d/%d",
+					gi, seed, seq.msgs, seq.bits, par.msgs, par.bits)
+			}
+			// And both strategies are stable across repeated runs.
+			again := runGossip(t, g, seed, dist.Parallel)
+			if !reflect.DeepEqual(par, again) {
+				t.Fatalf("graph %d seed %d: parallel run not reproducible", gi, seed)
+			}
+		}
+	}
+}
+
+func TestEngineAutoModeMatchesSequential(t *testing.T) {
+	// Above the auto threshold, Auto goes parallel; results must agree.
+	g := gen.MultiplyEdges(gen.Gnm(5000, 15000, 3), 2)
+	seq := runGossip(t, g, 42, dist.Sequential)
+	auto := runGossip(t, g, 42, dist.Auto)
+	if !reflect.DeepEqual(seq, auto) {
+		t.Fatal("Auto mode diverges from Sequential on a large multigraph")
+	}
+}

@@ -33,8 +33,12 @@ func Threshold(alphaStar int, eps float64) int {
 	return int(math.Floor((2 + eps) * float64(alphaStar)))
 }
 
-// peelMsg is the "I was removed this round" notification.
+// peelMsg is the "I was removed this round" notification. It carries no
+// payload, so its CONGEST size is a single bit.
 type peelMsg struct{}
+
+// Bits implements dist.Sized.
+func (peelMsg) Bits() int { return 1 }
 
 // peelProg is the per-vertex peeling program.
 type peelProg struct {
@@ -49,14 +53,19 @@ func (p *peelProg) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, boo
 		return nil, true
 	}
 	for _, m := range recv {
-		if m != nil {
+		// Count only actual peel notifications: one per port, so a
+		// neighbor reached by k parallel edges decrements remDeg k times,
+		// matching the edge-degree convention of remDeg.
+		if _, ok := m.(peelMsg); ok {
 			p.remDeg--
 		}
 	}
 	if p.remDeg <= p.t {
 		p.removed = true
 		p.class = int32(env.Round)
-		return dist.Broadcast(env.Deg(), peelMsg{}), false
+		// The engine delivers messages returned alongside done=true, so
+		// the removal notification and the halt fit in the same round.
+		return dist.Broadcast(env.Deg(), peelMsg{}), true
 	}
 	return nil, false
 }
@@ -74,10 +83,14 @@ func Partition(g *graph.Graph, t, maxRounds int, cost *dist.Cost) (*Result, erro
 		return progs[v]
 	})
 	rounds, err := eng.Run(maxRounds)
+	// Charge before checking the error: a failed peel (e.g. a doubling
+	// probe in EstimateDegeneracy or recolorLeftover) still consumed its
+	// whole round budget and sent real messages on the simulated network.
+	cost.Charge(rounds, "hpartition/peel")
+	cost.ChargeMessages(eng.Messages(), eng.Bits(), "hpartition/peel")
 	if err != nil {
 		return nil, fmt.Errorf("hpartition: peeling stuck with t=%d: %w", t, err)
 	}
-	cost.Charge(rounds, "hpartition/peel")
 	res := &Result{T: t, Class: make([]int32, g.N())}
 	for v, p := range progs {
 		res.Class[v] = p.class
