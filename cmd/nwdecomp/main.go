@@ -1,6 +1,7 @@
-// Command nwdecomp reads a graph (edge-list format, see internal/graph),
-// decomposes its edges into forests, verifies the result, and writes one
-// color per edge line to stdout.
+// Command nwdecomp reads a graph (plain edge-list, DIMACS or METIS
+// format, auto-detected; see internal/graph), decomposes its edges into
+// forests, verifies the result, and writes one color per edge line to
+// stdout.
 //
 // Usage:
 //
@@ -41,7 +42,7 @@ func main() {
 		}
 		defer f.Close()
 	}
-	g, err := graph.Decode(f)
+	g, _, err := graph.DecodeAuto(f)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,105 @@
+// Command nwserve is the nwforest decomposition daemon: an HTTP/JSON
+// front end (internal/service) over the library, with a content-addressed
+// graph store, a bounded job queue feeding a worker pool, and a result
+// cache so repeated identical requests never recompute.
+//
+// Usage:
+//
+//	nwserve -addr :8080 -workers 8
+//
+// Endpoints (see internal/service.NewHTTPHandler):
+//
+//	POST   /graphs      upload a graph (plain, DIMACS or METIS; auto-detected)
+//	POST   /jobs        {"graph": "sha256:...", "algorithm": "decompose",
+//	                     "options": {"alpha": 4, "eps": 0.5, "seed": 1}}
+//	GET    /jobs/{id}   poll (?wait=5s to block), DELETE to cancel
+//	GET    /stats       cache hit/miss/eviction and queue counters
+//
+// The actual listen address is printed to stdout as
+// "nwserve: listening on http://HOST:PORT" (useful with -addr :0), and
+// SIGINT/SIGTERM trigger a graceful drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"nwforest/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "decomposition worker pool size")
+	queue := flag.Int("queue", 256, "job queue depth (submits beyond it get 503)")
+	graphCache := flag.Int("graph-cache", 64, "parsed graphs kept warm in the store LRU")
+	storeBytes := flag.Int64("store-bytes", service.DefaultMaxSourceBytes, "uploaded graph bytes retained before the oldest are dropped")
+	resultCache := flag.Int("result-cache", 1024, "result cache capacity in entries")
+	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	ingestDir := flag.String("ingest-dir", "", "directory POST /graphs {\"path\":...} may read from (empty = disabled)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		GraphCapacity:  *graphCache,
+		MaxStoreBytes:  *storeBytes,
+		ResultCapacity: *resultCache,
+		DefaultTimeout: *timeout,
+		IngestDir:      *ingestDir,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nwserve: listening on http://%s\n", ln.Addr())
+
+	server := &http.Server{
+		Handler:           service.NewHTTPHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "nwserve: shutting down")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Each shutdown stage gets its own drain budget: a long-poll client
+	// exhausting the HTTP stage's budget must not leave the worker drain
+	// with an already-expired context.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drain)
+	defer cancelHTTP()
+	if err := server.Shutdown(httpCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "nwserve: http shutdown:", err)
+	}
+	svcCtx, cancelSvc := context.WithTimeout(context.Background(), *drain)
+	defer cancelSvc()
+	if err := svc.Close(svcCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "nwserve:", err)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "nwserve:", err)
+	os.Exit(1)
+}

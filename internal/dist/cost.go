@@ -5,13 +5,13 @@ package dist
 // ran on the Engine (zero for purely local phases).
 type Phase struct {
 	// Name labels the phase, e.g. "hpartition/peel".
-	Name string
+	Name string `json:"name"`
 	// Rounds is the LOCAL rounds charged to this phase.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Messages is the number of messages sent during this phase.
-	Messages int64
+	Messages int64 `json:"messages,omitempty"`
 	// Bits is the total payload size of those messages in bits.
-	Bits int64
+	Bits int64 `json:"bits,omitempty"`
 }
 
 // Cost accumulates the LOCAL/CONGEST complexity of a run, aggregated by

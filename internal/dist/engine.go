@@ -198,15 +198,29 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 			allDone = e.stepRange(round, 0, n)
 		} else {
 			res := make([]bool, len(bounds)-1)
+			panics := make([]any, len(bounds)-1)
 			var wg sync.WaitGroup
 			for w := 0; w+1 < len(bounds); w++ {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							panics[w] = r
+						}
+					}()
 					res[w] = e.stepRange(round, bounds[w], bounds[w+1])
 				}(w)
 			}
 			wg.Wait()
+			// Re-raise a worker panic on the calling goroutine, so a
+			// caller's recover sees it regardless of execution mode — an
+			// unrecovered panic in a worker would kill the whole process.
+			for _, p := range panics {
+				if p != nil {
+					panic(p)
+				}
+			}
 			for _, d := range res {
 				allDone = allDone && d
 			}

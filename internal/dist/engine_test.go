@@ -287,6 +287,33 @@ func TestEngineSequentialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// panicker panics on its first step.
+type panicker struct{}
+
+func (panicker) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, bool) {
+	panic("boom")
+}
+
+// TestEnginePanicReachesCaller checks that a panicking Program surfaces
+// on the goroutine that called Run in every mode, so a caller's recover
+// works whether or not the engine sharded the round across workers. An
+// unrecovered panic in a worker goroutine would kill the process.
+func TestEnginePanicReachesCaller(t *testing.T) {
+	for _, mode := range []dist.Mode{dist.Sequential, dist.Parallel} {
+		g := gen.RandomTree(100, 1)
+		eng := dist.NewEngine(g, func(int32) dist.Program { return panicker{} })
+		eng.SetMode(mode)
+		recovered := func() (r any) {
+			defer func() { r = recover() }()
+			eng.Run(10)
+			return nil
+		}()
+		if recovered == nil {
+			t.Fatalf("mode %v: Step panic did not reach the Run caller", mode)
+		}
+	}
+}
+
 func TestEngineAutoModeMatchesSequential(t *testing.T) {
 	// Above the auto threshold, Auto goes parallel; results must agree.
 	g := gen.MultiplyEdges(gen.Gnm(5000, 15000, 3), 2)

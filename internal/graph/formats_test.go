@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// encodeDIMACS / encodeMETIS are test-only writers used for round-trips.
+func encodeDIMACS(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c test instance\np edge %d %d\n", g.N(), g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "e %d %d\n", e.U+1, e.V+1)
+	}
+	return b.String()
+}
+
+func encodeMETIS(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% test instance\n%d %d\n", g.N(), g.M())
+	for v := int32(0); int(v) < g.N(); v++ {
+		sep := ""
+		for _, a := range g.Adj(v) {
+			fmt.Fprintf(&b, "%s%d", sep, a.To+1)
+			sep = " "
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sameGraph(t *testing.T, g, h *Graph) {
+	t.Helper()
+	if g.N() != h.N() || g.M() != h.M() {
+		t.Fatalf("decoded n=%d m=%d, want n=%d m=%d", h.N(), h.M(), g.N(), g.M())
+	}
+	// Compare as multisets of normalized endpoint pairs (the formats do
+	// not fix an edge order).
+	count := func(x *Graph) map[[2]int32]int {
+		c := make(map[[2]int32]int)
+		for _, e := range x.Edges() {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			c[[2]int32{u, v}]++
+		}
+		return c
+	}
+	gc, hc := count(g), count(h)
+	for k, n := range gc {
+		if hc[k] != n {
+			t.Fatalf("edge %v: decoded %d copies, want %d", k, hc[k], n)
+		}
+	}
+}
+
+func testGraphs() []*Graph {
+	return []*Graph{
+		MustNew(1, nil),
+		MustNew(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		// Isolated vertex 2 (METIS empty line) and a multi-edge.
+		MustNew(5, []Edge{{0, 1}, {0, 1}, {3, 4}, {0, 4}}),
+		path(12),
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	for i, g := range testGraphs() {
+		in := encodeDIMACS(g)
+		h, err := DecodeDIMACS(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("graph %d: %v\ninput:\n%s", i, err, in)
+		}
+		sameGraph(t, g, h)
+		// And through auto-detection.
+		h2, f, err := DecodeAuto(strings.NewReader(in))
+		if err != nil || f != FormatDIMACS {
+			t.Fatalf("graph %d: DecodeAuto -> format %q err %v, want dimacs", i, f, err)
+		}
+		sameGraph(t, g, h2)
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	for i, g := range testGraphs() {
+		in := encodeMETIS(g)
+		h, err := DecodeMETIS(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("graph %d: %v\ninput:\n%s", i, err, in)
+		}
+		sameGraph(t, g, h)
+		h2, f, err := DecodeAuto(strings.NewReader(in))
+		if err != nil || f != FormatMETIS {
+			t.Fatalf("graph %d: DecodeAuto -> format %q err %v, want metis", i, f, err)
+		}
+		sameGraph(t, g, h2)
+	}
+}
+
+func TestMETISWeightedVariants(t *testing.T) {
+	// Triangle with edge weights (fmt 001).
+	in := "3 3 001\n2 7 3 9\n1 7 3 5\n1 9 2 5\n"
+	g, err := DecodeMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d, want 3 3", g.N(), g.M())
+	}
+	// Same triangle with two vertex weights per vertex and edge weights
+	// (fmt 011, ncon 2).
+	in = "3 3 011 2\n10 20 2 7 3 9\n30 40 1 7 3 5\n50 60 1 9 2 5\n"
+	if g, err = DecodeMETIS(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 {
+		t.Fatalf("got m=%d, want 3", g.M())
+	}
+	// Vertex sizes too (fmt 111, ncon 1).
+	in = "3 3 111 1\n1 10 2 7 3 9\n1 30 1 7 3 5\n1 50 1 9 2 5\n"
+	if g, err = DecodeMETIS(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 {
+		t.Fatalf("got m=%d, want 3", g.M())
+	}
+}
+
+func TestDecodeAutoPlain(t *testing.T) {
+	for i, g := range testGraphs() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, f, err := DecodeAuto(&buf)
+		if err != nil || f != FormatPlain {
+			t.Fatalf("graph %d: DecodeAuto -> format %q err %v, want plain", i, f, err)
+		}
+		sameGraph(t, g, h)
+	}
+	// A leading '#' comment also selects plain.
+	in := "# comment\n2 1\n0 1\n"
+	if _, f, err := DecodeAuto(strings.NewReader(in)); err != nil || f != FormatPlain {
+		t.Fatalf("DecodeAuto -> format %q err %v, want plain", f, err)
+	}
+}
+
+func TestDecodeDIMACSMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"no problem line", "c hi\n"},
+		{"edge before p", "e 1 2\np edge 2 1\n"},
+		{"duplicate p", "p edge 2 1\np edge 2 1\ne 1 2\n"},
+		{"short p", "p edge 2\ne 1 2\n"},
+		{"bad n", "p edge x 1\ne 1 2\n"},
+		{"bad m", "p edge 2 x\ne 1 2\n"},
+		{"too few edges", "p edge 3 2\ne 1 2\n"},
+		{"too many edges", "p edge 3 1\ne 1 2\ne 2 3\n"},
+		{"endpoint zero", "p edge 2 1\ne 0 1\n"},
+		{"endpoint out of range", "p edge 2 1\ne 1 3\n"},
+		{"bad endpoint", "p edge 2 1\ne 1 x\n"},
+		{"self loop", "p edge 2 1\ne 1 1\n"},
+		{"unknown line", "p edge 2 1\ne 1 2\nq done\n"},
+		{"edge with too many fields", "p edge 2 1\ne 1 2 3 4\n"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeDIMACS(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: DecodeDIMACS(%q) succeeded, want error", c.name, c.in)
+		}
+	}
+}
+
+func TestDecodeMETISMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"only comments", "% hi\n"},
+		{"short header", "3\n"},
+		{"bad n", "x 1\n2\n1\n"},
+		{"bad m", "2 x\n2\n1\n"},
+		{"bad fmt", "2 1 21\n2\n1\n"},
+		{"long fmt", "2 1 0011\n2\n1\n"},
+		{"ncon without vweights", "2 1 000 2\n2\n1\n"},
+		{"bad ncon", "2 1 010 x\n2 1 2\n1 1 1\n"},
+		{"neighbor zero", "2 1\n0\n1\n"},
+		{"neighbor out of range", "2 1\n3\n1\n"},
+		{"bad neighbor", "2 1\nx\n1\n"},
+		{"self loop", "2 1\n1\n1\n"},
+		{"asymmetric", "3 2\n2\n1\n1\n"},        // vertex 3 lists 1, vertex 1 omits 3
+		{"undercounted m", "3 1\n2 3\n1\n1\n"},  // two edges, header says one
+		{"overcounted m", "3 3\n2 3\n1\n1\n"},   // two edges, header says three
+		{"missing weight", "2 1 001\n2\n1 5\n"}, // odd neighbor/weight list
+		{"trailing content", "2 1\n2\n1\n7 7\n"},
+		{"missing vweight tokens", "2 1 010 2\n5 2\n5 5 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeMETIS(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: DecodeMETIS(%q) succeeded, want error", c.name, c.in)
+		}
+	}
+}
+
+func TestHostileHeadersRejected(t *testing.T) {
+	// A tiny upload must not be able to commission a giant allocation via
+	// a huge declared n or m.
+	cases := []string{
+		"p edge 2 9000000000000000000\ne 1 2\n",
+		"p edge 9000000000000000000 1\ne 1 2\n",
+		"p edge 2 1000000000\ne 1 2\n", // > maxHeaderCount but < 2^63
+	}
+	for _, in := range cases {
+		if _, err := DecodeDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("DecodeDIMACS(%q) succeeded, want header rejection", in)
+		}
+	}
+	for _, in := range []string{
+		"2 9000000000000000000\n2\n1\n",
+		"9000000000000000000 1\n2\n1\n",
+	} {
+		if _, err := DecodeMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("DecodeMETIS(%q) succeeded, want header rejection", in)
+		}
+	}
+	for _, in := range []string{
+		"200000000000 0\n",
+		"-5 0\n",
+		"1 911111111111111111\n",
+		"2 -1\n0 1\n",
+		"4 1\n4294967299 1\n", // endpoint 2^32+3 would wrap to vertex 3 via int32
+		"4 1\n0 -1\n",
+	} {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want header rejection", in)
+		}
+	}
+}
+
+func TestDetectFormatRules(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+	}{
+		{"c comment\np edge 2 1\ne 1 2\n", FormatDIMACS},
+		{"p edge 2 1\ne 1 2\n", FormatDIMACS},
+		{"% comment\n2 1\n2\n1\n", FormatMETIS},
+		{"3 3 001\n2 7 3 9\n1 7 3 5\n1 9 2 5\n", FormatMETIS},
+		{"# comment\n2 1\n0 1\n", FormatPlain},
+		{"2 1\n0 1\n", FormatPlain}, // documented ambiguity: 2-int header decodes as plain
+		{"\n\n2 1\n0 1\n", FormatPlain},
+	}
+	for _, c := range cases {
+		_, f, err := DecodeAuto(strings.NewReader(c.in))
+		if err != nil {
+			t.Errorf("DecodeAuto(%q): %v", c.in, err)
+			continue
+		}
+		if f != c.want {
+			t.Errorf("DecodeAuto(%q) detected %q, want %q", c.in, f, c.want)
+		}
+	}
+	for _, in := range []string{"", "\n\n", "hello world\n", "1 2 3 4 5\n"} {
+		if _, _, err := DecodeAuto(strings.NewReader(in)); err == nil {
+			t.Errorf("DecodeAuto(%q) succeeded, want detection error", in)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range map[string]Format{
+		"":       FormatAuto,
+		"auto":   FormatAuto,
+		"plain":  FormatPlain,
+		"DIMACS": FormatDIMACS,
+		"metis":  FormatMETIS,
+	} {
+		got, err := ParseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %q, %v; want %q", name, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat(\"xml\") succeeded, want error")
+	}
+}
+
+func TestDecodeTrailingContent(t *testing.T) {
+	in := "2 1\n0 1\n0 1\n"
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Fatal("Decode with a trailing edge line succeeded, want error")
+	}
+	// Trailing comments and blank lines stay fine.
+	in = "2 1\n0 1\n\n# done\n"
+	if _, err := Decode(strings.NewReader(in)); err != nil {
+		t.Fatalf("Decode with trailing comment failed: %v", err)
+	}
+}

@@ -24,7 +24,10 @@ func Encode(w io.Writer, g *Graph) error {
 }
 
 // Decode reads a graph in the format produced by Encode. Blank lines and
-// lines starting with '#' are ignored.
+// lines starting with '#' are ignored. Any non-comment content after the
+// header's m edges is an error: trailing lines almost always mean a
+// mis-declared edge count or a concatenated file, and silently dropping
+// them would decode a different graph than the one written.
 func Decode(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -47,14 +50,17 @@ func Decode(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: bad header %q", header)
 	}
 	n, err := strconv.Atoi(fields[0])
-	if err != nil {
-		return nil, fmt.Errorf("graph: bad vertex count: %w", err)
+	if err != nil || n < 0 || n > maxHeaderCount {
+		return nil, fmt.Errorf("graph: bad vertex count %q", fields[0])
 	}
 	m, err := strconv.Atoi(fields[1])
-	if err != nil {
-		return nil, fmt.Errorf("graph: bad edge count: %w", err)
+	if err != nil || m < 0 || m > maxHeaderCount {
+		return nil, fmt.Errorf("graph: bad edge count %q", fields[1])
 	}
-	edges := make([]Edge, 0, m)
+	// Bounded like the DIMACS/METIS decoders (see maxHeaderCount): this
+	// decoder too ingests untrusted uploads via auto-detection, so a tiny
+	// header must not commission a giant allocation.
+	edges := make([]Edge, 0, min(m, preallocCap))
 	for i := 0; i < m; i++ {
 		line, ok := readLine()
 		if !ok {
@@ -72,7 +78,15 @@ func Decode(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
 		}
+		// Range-check before the int32 cast: an endpoint >= 2^32 would
+		// otherwise wrap and silently decode a different graph.
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge line %q out of range for n=%d", line, n)
+		}
 		edges = append(edges, Edge{U: int32(u), V: int32(v)})
+	}
+	if line, ok := readLine(); ok {
+		return nil, fmt.Errorf("graph: trailing content after %d declared edges: %q", m, line)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,110 @@
+package service
+
+import "sync"
+
+// resultCache memoizes completed job results keyed by
+// (graph hash, algorithm, canonical options key) — see JobSpec.CacheKey.
+// Because every algorithm is deterministic given Options.Seed, a cached
+// result is bit-identical to what a recomputation would produce. The
+// cache is bounded both by entry count and by approximate total bytes:
+// results carry per-edge slices, so counting entries alone would let a
+// client with one large graph and many seeds grow the daemon without
+// bound.
+type resultCache struct {
+	mu       sync.Mutex
+	entries  *lru[string, *JobResult]
+	sizes    map[string]int64
+	curBytes int64
+	maxBytes int64
+
+	hits, misses, evictions int64
+}
+
+// CacheStats are the result cache's counters, as served by /stats.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"maxBytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// DefaultMaxCacheBytes is the result-cache byte budget applied when the
+// configured value is <= 0. The same default bounds retained job results.
+const DefaultMaxCacheBytes = 256 << 20
+
+func newResultCache(capacity int, maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxCacheBytes
+	}
+	c := &resultCache{sizes: make(map[string]int64), maxBytes: maxBytes}
+	// onEvict runs inside put/evictOldest, always under c.mu.
+	c.entries = newLRU[string, *JobResult](capacity, func(k string, _ *JobResult) {
+		c.evictions++
+		c.curBytes -= c.sizes[k]
+		delete(c.sizes, k)
+	})
+	return c
+}
+
+// approxResultBytes estimates a result's resident size: the per-edge
+// slices dominate, the rest is a small constant.
+func approxResultBytes(r *JobResult) int64 {
+	const overhead = 256
+	if r == nil {
+		return overhead
+	}
+	b := int64(overhead)
+	if d := r.Decomposition; d != nil {
+		b += int64(len(d.Colors))*4 + int64(len(d.Phases))*64
+	}
+	if o := r.Orientation; o != nil {
+		b += int64(len(o.FromU)) + int64(len(o.Phases))*64
+	}
+	return b
+}
+
+func (c *resultCache) get(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries.get(key)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+func (c *resultCache) put(key string, r *JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.sizes[key]; ok { // update in place
+		c.curBytes -= old
+	}
+	c.entries.put(key, r)
+	sz := approxResultBytes(r)
+	c.sizes[key] = sz
+	c.curBytes += sz
+	// Enforce the byte budget, always keeping the newest entry even if it
+	// alone exceeds it.
+	for c.curBytes > c.maxBytes && c.entries.len() > 1 {
+		c.entries.evictOldest()
+	}
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.entries.len(),
+		Capacity:  c.entries.capacity,
+		Bytes:     c.curBytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"nwforest/internal/graph"
+)
+
+// maxUploadBytes caps POST /graphs bodies.
+const maxUploadBytes = 256 << 20
+
+// NewHTTPHandler returns the HTTP/JSON surface over svc:
+//
+//	POST   /graphs          ingest a graph; raw body in any supported
+//	                        format (?format=plain|dimacs|metis overrides
+//	                        auto-detection), or {"path": "..."} with
+//	                        Content-Type: application/json to ingest a
+//	                        server-side file relative to Config.IngestDir
+//	                        (403 unless an ingest directory is configured)
+//	GET    /graphs          list stored graphs
+//	GET    /graphs/{id}     metadata of one graph
+//	POST   /jobs            submit a JobSpec; 200 + done job on a cache
+//	                        hit, 202 + queued job otherwise, 503 when the
+//	                        queue is full
+//	GET    /jobs            list retained jobs
+//	GET    /jobs/{id}       poll a job; ?wait=5s blocks until it finishes
+//	                        or the duration elapses
+//	DELETE /jobs/{id}       cancel a job
+//	GET    /stats           store / cache / queue counters
+//	GET    /healthz         liveness
+func NewHTTPHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /graphs", func(w http.ResponseWriter, r *http.Request) {
+		handleAddGraph(svc, w, r)
+	})
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": svc.Store().List()})
+	})
+	mux.HandleFunc("GET /graphs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := svc.Store().Info(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitJob(svc, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": svc.Jobs()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleGetJob(svc, w, r)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := svc.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		svc.Cancel(id)
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func handleAddGraph(svc *Service, w http.ResponseWriter, r *http.Request) {
+	format, err := graph.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var info GraphInfo
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Path string `json:"path"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if req.Path == "" {
+			writeError(w, http.StatusBadRequest, errors.New(`"path" is required in JSON ingests`))
+			return
+		}
+		var abs string
+		if abs, err = svc.ResolveIngestPath(req.Path); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrIngestForbidden) {
+				status = http.StatusForbidden
+			}
+			writeError(w, status, err)
+			return
+		}
+		info, err = svc.Store().AddFile(abs, format)
+	} else {
+		var data []byte
+		data, err = readAll(r.Body, maxUploadBytes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(data) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("empty graph upload"))
+			return
+		}
+		info, err = svc.Store().AddBytes(data, format)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func handleSubmitJob(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	j, err := svc.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrUnknownGraph):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := j.Snapshot()
+	if snap.State.terminal() { // cache hit
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func handleGetJob(svc *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := svc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", waitStr))
+			return
+		}
+		// wait=0s is the conventional "don't block": fall through to the
+		// immediate snapshot rather than waiting on the request context.
+		if d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			writeJSON(w, http.StatusOK, svc.Wait(ctx, j))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

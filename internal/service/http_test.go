@@ -1,0 +1,334 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nwforest"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+)
+
+// testServer stands up the full HTTP surface over a real Service.
+func testServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := newTestService(t, cfg)
+	ts := httptest.NewServer(NewHTTPHandler(svc))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, contentType string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeEndToEnd is the full client story: upload a graph, submit a
+// job, wait for it, verify the decomposition, then watch the identical
+// request come back from the result cache with identical colors.
+func TestServeEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	g := gen.ForestUnion(200, 3, 42)
+
+	var upload bytes.Buffer
+	if err := graph.Encode(&upload, g); err != nil {
+		t.Fatal(err)
+	}
+	var info GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/graphs", upload.Bytes(), "", &info); code != http.StatusCreated {
+		t.Fatalf("POST /graphs -> %d, want 201", code)
+	}
+	if !strings.HasPrefix(info.ID, "sha256:") || info.N != 200 || info.Format != "plain" {
+		t.Fatalf("bad graph info %+v", info)
+	}
+
+	spec, _ := json.Marshal(JobSpec{GraphID: info.ID, Algorithm: "decompose",
+		Options: nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 7}})
+	var snap JobSnapshot
+	if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", &snap); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs -> %d, want 202", code)
+	}
+	if snap.ID == "" || snap.State.terminal() {
+		t.Fatalf("fresh job snapshot %+v", snap)
+	}
+
+	var done JobSnapshot
+	if code := doJSON(t, "GET", ts.URL+"/jobs/"+snap.ID+"?wait=30s", nil, "", &done); code != http.StatusOK {
+		t.Fatalf("GET /jobs/{id}?wait -> %d, want 200", code)
+	}
+	if done.State != JobDone {
+		t.Fatalf("job finished as %s (%s), want done", done.State, done.Error)
+	}
+	d := done.Result.Decomposition
+	if err := nwforest.Verify(g, d.Colors, d.NumForests); err != nil {
+		t.Fatalf("served decomposition invalid: %v", err)
+	}
+	if len(d.Phases) == 0 {
+		t.Fatal("served decomposition has no phase breakdown")
+	}
+
+	// The identical request is a cache hit: 200 (not 202), already done,
+	// flagged cached, bit-identical colors.
+	var cached JobSnapshot
+	if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", &cached); code != http.StatusOK {
+		t.Fatalf("repeat POST /jobs -> %d, want 200 (cache hit)", code)
+	}
+	if cached.State != JobDone || !cached.Cached {
+		t.Fatalf("repeat job: state=%s cached=%v", cached.State, cached.Cached)
+	}
+	for i, c := range d.Colors {
+		if cached.Result.Decomposition.Colors[i] != c {
+			t.Fatalf("cached colors diverge from cold run at edge %d", i)
+		}
+	}
+
+	var stats Stats
+	if code := doJSON(t, "GET", ts.URL+"/stats", nil, "", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats -> %d", code)
+	}
+	if stats.Results.Hits < 1 {
+		t.Fatalf("stats report %d cache hits, want >= 1", stats.Results.Hits)
+	}
+	if stats.Store.Graphs != 1 {
+		t.Fatalf("stats report %d graphs, want 1", stats.Store.Graphs)
+	}
+}
+
+func TestServeDIMACSUpload(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	// K4 in DIMACS form; arboricity 2.
+	dimacs := "c k4\np edge 4 6\ne 1 2\ne 1 3\ne 1 4\ne 2 3\ne 2 4\ne 3 4\n"
+	var info GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/graphs", []byte(dimacs), "", &info); code != http.StatusCreated {
+		t.Fatalf("POST /graphs (dimacs) -> %d, want 201", code)
+	}
+	if info.Format != "dimacs" || info.N != 4 || info.M != 6 {
+		t.Fatalf("bad info %+v", info)
+	}
+	spec, _ := json.Marshal(JobSpec{GraphID: info.ID, Algorithm: "arboricity"})
+	var snap JobSnapshot
+	doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", &snap)
+	var done JobSnapshot
+	doJSON(t, "GET", ts.URL+"/jobs/"+snap.ID+"?wait=30s", nil, "", &done)
+	if done.State != JobDone || done.Result.Alpha != 2 {
+		t.Fatalf("arboricity job: state=%s alpha=%d (%s), want done/2", done.State, done.Result.Alpha, done.Error)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+
+	if code := doJSON(t, "POST", ts.URL+"/graphs", []byte("not a graph"), "", nil); code != http.StatusBadRequest {
+		t.Fatalf("garbage upload -> %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/graphs", nil, "", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty upload -> %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/graphs", []byte(`{"path":""}`), "application/json", nil); code != http.StatusBadRequest {
+		t.Fatalf("pathless JSON ingest -> %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/graphs", []byte("200000000000 0\n"), "", nil); code != http.StatusBadRequest {
+		t.Fatalf("hostile plain header -> %d, want 400", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/jobs/j-999", nil, "", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job -> %d, want 404", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/graphs/sha256:nope", nil, "", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph -> %d, want 404", code)
+	}
+	spec, _ := json.Marshal(JobSpec{GraphID: "sha256:nope", Algorithm: "decompose",
+		Options: nwforest.Options{Alpha: 2, Eps: 0.5, Seed: 1}})
+	if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", nil); code != http.StatusNotFound {
+		t.Fatalf("job on unknown graph -> %d, want 404", code)
+	}
+	spec, _ = json.Marshal(JobSpec{GraphID: "sha256:nope", Algorithm: "decompose"})
+	if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", nil); code != http.StatusBadRequest {
+		t.Fatalf("job without alpha/eps -> %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/jobs", []byte(`{"algorithm":`), "application/json", nil); code != http.StatusBadRequest {
+		t.Fatalf("truncated spec -> %d, want 400", code)
+	}
+}
+
+func TestServeCancelAndBackpressure(t *testing.T) {
+	svc, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	svc.execHook = blockUntilCanceled
+
+	var info GraphInfo
+	data := encode(t, gen.ForestUnion(20, 2, 1))
+	doJSON(t, "POST", ts.URL+"/graphs", data, "", &info)
+	submit := func(seed uint64) (JobSnapshot, int) {
+		spec, _ := json.Marshal(JobSpec{GraphID: info.ID, Algorithm: "decompose",
+			Options: nwforest.Options{Alpha: 2, Eps: 0.5, Seed: seed}})
+		var snap JobSnapshot
+		code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", &snap)
+		return snap, code
+	}
+
+	running, code := submit(1)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit -> %d", code)
+	}
+	j, _ := svc.Get(running.ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for j.State() == JobQueued && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, code = submit(2); code != http.StatusAccepted {
+		t.Fatalf("second submit -> %d", code)
+	}
+	if _, code = submit(3); code != http.StatusServiceUnavailable {
+		t.Fatalf("third submit -> %d, want 503 (queue full)", code)
+	}
+
+	// wait=0s is non-blocking: an immediate snapshot of the still-running
+	// job, not a hang until it terminates.
+	var now JobSnapshot
+	if code := doJSON(t, "GET", ts.URL+"/jobs/"+running.ID+"?wait=0s", nil, "", &now); code != http.StatusOK {
+		t.Fatalf("GET ?wait=0s -> %d", code)
+	}
+	if now.State.terminal() {
+		t.Fatalf("wait=0s state = %s, want a live state", now.State)
+	}
+
+	// Cancel the running job over HTTP and observe the canceled state.
+	var canceled JobSnapshot
+	if code := doJSON(t, "DELETE", ts.URL+"/jobs/"+running.ID, nil, "", &canceled); code != http.StatusOK {
+		t.Fatalf("DELETE /jobs/{id} -> %d", code)
+	}
+	var after JobSnapshot
+	doJSON(t, "GET", ts.URL+"/jobs/"+running.ID+"?wait=5s", nil, "", &after)
+	if after.State != JobCanceled {
+		t.Fatalf("canceled job state = %s, want canceled", after.State)
+	}
+}
+
+func TestServeFileIngestGate(t *testing.T) {
+	// Disabled by default: the endpoint must not let clients read the
+	// server's filesystem.
+	_, ts := testServer(t, Config{Workers: 1})
+	if code := doJSON(t, "POST", ts.URL+"/graphs", []byte(`{"path":"/etc/passwd"}`), "application/json", nil); code != http.StatusForbidden {
+		t.Fatalf("path ingest with no ingest dir -> %d, want 403", code)
+	}
+
+	// Enabled: paths resolve relative to the ingest dir; escapes are 403.
+	dir := t.TempDir()
+	data := encode(t, gen.ForestUnion(30, 2, 1))
+	if err := os.WriteFile(filepath.Join(dir, "g.txt"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(filepath.Dir(dir), "outside.txt"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := testServer(t, Config{Workers: 1, IngestDir: dir})
+	var info GraphInfo
+	if code := doJSON(t, "POST", ts2.URL+"/graphs", []byte(`{"path":"g.txt"}`), "application/json", &info); code != http.StatusCreated {
+		t.Fatalf("in-dir ingest -> %d, want 201", code)
+	}
+	if info.N != 30 {
+		t.Fatalf("ingested graph has n=%d, want 30", info.N)
+	}
+	if code := doJSON(t, "POST", ts2.URL+"/graphs", []byte(`{"path":"../outside.txt"}`), "application/json", nil); code != http.StatusForbidden {
+		t.Fatalf("escaping ingest -> %d, want 403", code)
+	}
+}
+
+func TestServeHealthAndLists(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	var health map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, "", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz -> %d %v", code, health)
+	}
+	var graphs struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/graphs", nil, "", &graphs); code != http.StatusOK {
+		t.Fatalf("GET /graphs -> %d", code)
+	}
+	var jobs struct {
+		Jobs []JobSnapshot `json:"jobs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/jobs", nil, "", &jobs); code != http.StatusOK {
+		t.Fatalf("GET /jobs -> %d", code)
+	}
+}
+
+// TestServeConcurrentClients hammers one server with parallel uploads and
+// jobs across several algorithms — the acceptance scenario for serving
+// concurrent decomposition jobs end-to-end.
+func TestServeConcurrentClients(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4, QueueDepth: 64})
+	graphs := []*graph.Graph{
+		gen.ForestUnion(120, 2, 1),
+		gen.ForestUnion(120, 3, 2),
+		gen.SimpleForestUnion(120, 4, 3),
+	}
+	ids := make([]string, len(graphs))
+	for i, g := range graphs {
+		var info GraphInfo
+		if code := doJSON(t, "POST", ts.URL+"/graphs", encode(t, g), "", &info); code != http.StatusCreated {
+			t.Fatalf("upload %d -> %d", i, code)
+		}
+		ids[i] = info.ID
+	}
+	algos := []string{"decompose", "stars", "orient", "estimate-alpha"}
+	errs := make(chan error, len(ids)*len(algos))
+	for gi, id := range ids {
+		for _, algo := range algos {
+			if algo == "stars" && !graphs[gi].IsSimple() {
+				algo = "decompose"
+			}
+			go func(id, algo string, alpha int) {
+				spec, _ := json.Marshal(JobSpec{GraphID: id, Algorithm: algo,
+					Options: nwforest.Options{Alpha: alpha, Eps: 0.5, Seed: 5}})
+				var snap JobSnapshot
+				if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", &snap); code != http.StatusAccepted && code != http.StatusOK {
+					errs <- fmt.Errorf("%s on %s: submit -> %d", algo, id, code)
+					return
+				}
+				var done JobSnapshot
+				doJSON(t, "GET", ts.URL+"/jobs/"+snap.ID+"?wait=30s", nil, "", &done)
+				if done.State != JobDone {
+					errs <- fmt.Errorf("%s on %s: state %s (%s)", algo, id, done.State, done.Error)
+					return
+				}
+				errs <- nil
+			}(id, algo, gi+2+2) // alpha bounds: 2,3,4 generated +2 slack
+		}
+	}
+	for i := 0; i < len(ids)*len(algos); i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"nwforest"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing it.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; Result is set.
+	JobDone JobState = "done"
+	// JobFailed: the algorithm returned an error.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client, a deadline, or shutdown before
+	// producing a result.
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobSpec is a client's request: run one algorithm on one stored graph.
+type JobSpec struct {
+	// GraphID is the store ID ("sha256:...") of the input graph.
+	GraphID string `json:"graph"`
+	// Algorithm selects the entry point; see Algorithms for the list.
+	Algorithm string `json:"algorithm"`
+	// Options configures the run (alpha, eps, seed, ...). Algorithms that
+	// do not read a field ignore it.
+	Options nwforest.Options `json:"options"`
+	// AlphaStar is the star-arboricity bound for "be" and "stars-list24".
+	AlphaStar int `json:"alphaStar,omitempty"`
+	// PaletteSize overrides the palette size for the list variants
+	// (0 = a default derived from Alpha and Eps).
+	PaletteSize int `json:"paletteSize,omitempty"`
+	// TimeoutMillis bounds the job's total lifetime (queue wait plus
+	// execution); 0 uses the service default.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// CacheKey canonicalizes the spec into the result-cache key. Two specs
+// share a key exactly when they denote the same computation: the key is
+// built from the normalized spec, so parameters the selected algorithm
+// ignores, values that merely spell out a default, and TimeoutMillis
+// (which bounds the run but does not change the result) never split the
+// cache.
+func (sp JobSpec) CacheKey() string {
+	n := sp.normalized()
+	return n.GraphID + "|" + n.Algorithm + "|" + n.Options.Key() +
+		",alphaStar=" + strconv.Itoa(n.AlphaStar) +
+		",palette=" + strconv.Itoa(n.PaletteSize)
+}
+
+// normalized zeroes every parameter the spec's algorithm ignores and
+// materializes defaulted ones, so equal computations get equal CacheKeys.
+// It must mirror exactly what RunSpec reads per algorithm: a field is
+// kept (or defaulted) here if and only if RunSpec passes it to the
+// library for this algorithm.
+func (sp JobSpec) normalized() JobSpec {
+	sp.TimeoutMillis = 0
+	switch sp.Algorithm {
+	case "decompose": // full Options; no alphaStar/palette
+		sp.AlphaStar, sp.PaletteSize = 0, 0
+	case "list": // Options minus ReduceDiameter; palette defaulted
+		sp.AlphaStar = 0
+		sp.PaletteSize = sp.listPaletteSize()
+		sp.Options.ReduceDiameter = false
+	case "stars": // Alpha/Eps/Seed only
+		sp.AlphaStar, sp.PaletteSize = 0, 0
+		sp.Options.ReduceDiameter, sp.Options.Sampled = false, false
+	case "stars-list24": // AlphaStar/Eps; palette defaulted
+		sp.PaletteSize = sp.starsList24PaletteSize()
+		eps := sp.Options.Eps
+		sp.Options = nwforest.Options{Eps: eps}
+	case "be": // AlphaStar (defaulted from Alpha) and Eps
+		sp.AlphaStar = sp.beAlphaStar()
+		sp.PaletteSize = 0
+		eps := sp.Options.Eps
+		sp.Options = nwforest.Options{Eps: eps}
+	case "pseudo", "orient": // Alpha/Eps/Seed/Sampled; diameter forced on
+		sp.AlphaStar, sp.PaletteSize = 0, 0
+		sp.Options.ReduceDiameter = false
+	case "estimate-alpha", "arboricity": // parameterless
+		sp.AlphaStar, sp.PaletteSize = 0, 0
+		sp.Options = nwforest.Options{}
+	}
+	return sp
+}
+
+// listPaletteSize is the palette size "list" runs with (Theorem 4.10
+// needs ceil((1+eps)*alpha) colors per palette).
+func (sp JobSpec) listPaletteSize() int {
+	if sp.PaletteSize != 0 {
+		return sp.PaletteSize
+	}
+	return int(math.Ceil((1 + sp.Options.Eps) * float64(sp.Options.Alpha)))
+}
+
+// starsList24PaletteSize is the palette size "stars-list24" runs with
+// (Theorem 2.3's floor((4+eps)*alphaStar) - 1).
+func (sp JobSpec) starsList24PaletteSize() int {
+	if sp.PaletteSize != 0 {
+		return sp.PaletteSize
+	}
+	return int(math.Floor((4+sp.Options.Eps)*float64(sp.AlphaStar))) - 1
+}
+
+// beAlphaStar is the arboricity bound "be" runs with.
+func (sp JobSpec) beAlphaStar() int {
+	if sp.AlphaStar != 0 {
+		return sp.AlphaStar
+	}
+	return sp.Options.Alpha
+}
+
+// JobResult is the output of a completed job; exactly the fields relevant
+// to the requested algorithm are set.
+type JobResult struct {
+	// Decomposition is set by the decomposition algorithms.
+	Decomposition *nwforest.Decomposition `json:"decomposition,omitempty"`
+	// Orientation is set by "orient".
+	Orientation *nwforest.Orientation `json:"orientation,omitempty"`
+	// Alpha is set by "arboricity" (exact) and "estimate-alpha" (bound).
+	Alpha int `json:"alpha,omitempty"`
+	// Rounds is set by "estimate-alpha": the LOCAL rounds spent.
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Job is one unit of work owned by the Service.
+type Job struct {
+	mu sync.Mutex
+
+	id       string
+	spec     JobSpec
+	state    JobState
+	cached   bool
+	follower bool // attached to an in-flight leader; set before registration
+	result   *JobResult
+	errMsg   string
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on entering a terminal state
+}
+
+// JobSnapshot is a point-in-time JSON view of a job.
+type JobSnapshot struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State JobState `json:"state"`
+	// Cached reports that the result was served from the result cache
+	// without running the algorithm.
+	Cached bool       `json:"cached,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+
+	CreatedAt  time.Time  `json:"createdAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// ID returns the job's service-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns a consistent view of the job.
+func (j *Job) Snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := JobSnapshot{
+		ID:        j.id,
+		Spec:      j.spec,
+		State:     j.state,
+		Cached:    j.cached,
+		Result:    j.result,
+		Error:     j.errMsg,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		snap.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		snap.FinishedAt = &t
+	}
+	return snap
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// tryStart moves a queued job to running; it fails if the job was
+// canceled while waiting in the queue.
+func (j *Job) tryStart(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = now
+	return true
+}
+
+// finish moves the job to a terminal state; the first transition wins and
+// later ones (e.g. a computation completing after its job was canceled)
+// are dropped. cached marks results served without running the algorithm
+// (result-cache hits and deduplicated in-flight followers).
+func (j *Job) finish(now time.Time, state JobState, res *JobResult, errMsg string, cached bool) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.cached = cached
+	j.finished = now
+	close(j.done)
+	j.cancel() // release the context's resources
+	return true
+}
+
+// Cancel requests cancellation: queued and running jobs move to
+// JobCanceled (a running computation is abandoned; its eventual result
+// is discarded and not cached). Canceling a terminal job is a no-op.
+// It reports whether this call performed the cancellation.
+func (j *Job) Cancel(reason string) bool {
+	j.cancel()
+	return j.finish(time.Now(), JobCanceled, nil, reason, false)
+}

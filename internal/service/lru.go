@@ -1,0 +1,91 @@
+package service
+
+import "container/list"
+
+// lru is a size-bounded map with least-recently-used eviction. It is not
+// safe for concurrent use; owners guard it with their own mutex so that
+// lookups and the counters they update stay atomic together.
+type lru[K comparable, V any] struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[K]*list.Element
+	onEvict  func(K, V)
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU returns an LRU holding at most capacity entries (capacity < 1 is
+// treated as 1). onEvict, if non-nil, is called for every evicted entry.
+func newLRU[K comparable, V any](capacity int, onEvict func(K, V)) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+		onEvict:  onEvict,
+	}
+}
+
+// get returns the value for k, marking it most recently used.
+func (l *lru[K, V]) get(k K) (V, bool) {
+	if el, ok := l.items[k]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or updates k, marking it most recently used and evicting
+// the least recently used entry on overflow.
+func (l *lru[K, V]) put(k K, v V) {
+	if el, ok := l.items[k]; ok {
+		l.ll.MoveToFront(el)
+		el.Value.(*lruEntry[K, V]).val = v
+		return
+	}
+	l.items[k] = l.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if l.ll.Len() > l.capacity {
+		oldest := l.ll.Back()
+		e := oldest.Value.(*lruEntry[K, V])
+		l.ll.Remove(oldest)
+		delete(l.items, e.key)
+		if l.onEvict != nil {
+			l.onEvict(e.key, e.val)
+		}
+	}
+}
+
+// evictOldest drops the least recently used entry, invoking onEvict, and
+// reports whether there was one to drop. Owners use it to enforce
+// budgets beyond the entry-count capacity (e.g. total bytes).
+func (l *lru[K, V]) evictOldest() bool {
+	oldest := l.ll.Back()
+	if oldest == nil {
+		return false
+	}
+	e := oldest.Value.(*lruEntry[K, V])
+	l.ll.Remove(oldest)
+	delete(l.items, e.key)
+	if l.onEvict != nil {
+		l.onEvict(e.key, e.val)
+	}
+	return true
+}
+
+// remove drops k without invoking onEvict (explicit removal is not a
+// capacity eviction). Removing an absent key is a no-op.
+func (l *lru[K, V]) remove(k K) {
+	if el, ok := l.items[k]; ok {
+		l.ll.Remove(el)
+		delete(l.items, k)
+	}
+}
+
+// len returns the number of entries currently held.
+func (l *lru[K, V]) len() int { return l.ll.Len() }

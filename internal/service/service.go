@@ -1,0 +1,708 @@
+// Package service is the serving subsystem behind cmd/nwserve: a
+// long-lived, concurrent front end to the nwforest library. It layers
+//
+//   - a Store that ingests graphs (uploads or server-side files),
+//     content-addresses them by SHA-256, and keeps parsed graphs warm in
+//     an LRU;
+//   - a job system — a bounded queue feeding a worker pool — that runs
+//     any public entry point with a per-job context, cancellation and
+//     deadline, returning job IDs that clients poll or wait on;
+//   - a result cache keyed by (graph hash, algorithm, canonical Options
+//     key), so a repeated identical request is served without
+//     recomputation; all algorithms are deterministic given Options.Seed,
+//     so cold and cached paths return bit-identical results.
+//
+// The HTTP surface over this API lives in http.go; cmd/nwserve is a thin
+// main around the two.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nwforest"
+	"nwforest/internal/graph"
+)
+
+// Config sizes a Service. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 256). Submit fails with ErrQueueFull beyond it.
+	QueueDepth int
+	// GraphCapacity is how many parsed graphs the store keeps warm
+	// (default 64).
+	GraphCapacity int
+	// MaxStoreBytes bounds the raw bytes of upload-backed graphs the
+	// store retains for re-parsing; oldest uploads are forgotten beyond
+	// it (default service.DefaultMaxSourceBytes).
+	MaxStoreBytes int64
+	// IngestDir, when non-empty, permits POST /graphs {"path": ...} to
+	// ingest files from (strictly within) that directory. Empty disables
+	// server-side file ingestion entirely — otherwise the endpoint would
+	// let any HTTP client probe and partially read the server's
+	// filesystem.
+	IngestDir string
+	// ResultCapacity is the result cache size in entries (default 1024).
+	ResultCapacity int
+	// ResultCacheBytes bounds the result cache's approximate resident
+	// bytes — results carry per-edge slices, so entries alone are not a
+	// memory bound (default service.DefaultMaxCacheBytes). The same
+	// budget bounds the results pinned by retained finished jobs.
+	ResultCacheBytes int64
+	// RetainJobs bounds how many finished jobs stay pollable before the
+	// oldest are forgotten (default 1024).
+	RetainJobs int
+	// DefaultTimeout applies to jobs that do not set TimeoutMillis
+	// (default 0 = no deadline).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.GraphCapacity <= 0 {
+		c.GraphCapacity = 64
+	}
+	if c.ResultCapacity <= 0 {
+		c.ResultCapacity = 1024
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity;
+// HTTP maps it to 503 so clients can back off and retry.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("service: shutting down")
+
+// ErrUnknownGraph is returned by Submit for graph IDs the store has never
+// ingested; HTTP maps it to 404.
+var ErrUnknownGraph = errors.New("service: unknown graph")
+
+// Algorithms lists the job algorithm names in a stable order.
+var Algorithms = []string{
+	"decompose",      // Decompose: (1+eps)alpha forest decomposition
+	"list",           // DecomposeList with uniform full palettes
+	"stars",          // DecomposeStars: star-forest decomposition
+	"stars-list24",   // DecomposeStarsList24: (4+eps)alpha* list star forests
+	"be",             // DecomposeBE: Barenboim-Elkin baseline
+	"pseudo",         // DecomposePseudo: pseudo-forest decomposition
+	"orient",         // Orient: (1+eps)alpha orientation
+	"estimate-alpha", // EstimateAlpha: distributed arboricity bound
+	"arboricity",     // Arboricity: exact centralized reference
+}
+
+// Service is the serving subsystem. Create with New, stop with Close.
+type Service struct {
+	cfg   Config
+	store *Store
+	cache *resultCache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu            sync.Mutex
+	closed        bool
+	nextID        int64
+	jobs          map[string]*Job
+	inflight      map[string]*Job // CacheKey -> running/queued leader job
+	followers     int             // live follower jobs, capped at QueueDepth
+	finished      []finishedRec   // finish order, for retention pruning
+	retainedBytes int64
+	dedups        int64
+
+	// execHook replaces algorithm execution in tests (e.g. to block until
+	// cancellation); nil in production.
+	execHook func(ctx context.Context, g *graph.Graph, spec JobSpec) (*JobResult, error)
+}
+
+// New starts a Service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		store:    NewStore(cfg.GraphCapacity, cfg.MaxStoreBytes),
+		cache:    newResultCache(cfg.ResultCapacity, cfg.ResultCacheBytes),
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Store exposes the graph store for ingestion.
+func (s *Service) Store() *Store { return s.store }
+
+// ErrIngestForbidden is returned by ResolveIngestPath for paths outside
+// the configured ingest directory (or when none is configured); HTTP
+// maps it to 403.
+var ErrIngestForbidden = errors.New("service: server-side file ingestion not permitted")
+
+// ResolveIngestPath validates a client-supplied server-side path:
+// ingestion must be enabled (Config.IngestDir) and the path, interpreted
+// relative to that directory, must not escape it. It returns the
+// absolute path to read. Symlinks inside the ingest directory are the
+// operator's responsibility — the directory's contents are trusted, the
+// client's path string is not.
+func (s *Service) ResolveIngestPath(p string) (string, error) {
+	if s.cfg.IngestDir == "" {
+		return "", fmt.Errorf("%w: no ingest directory configured", ErrIngestForbidden)
+	}
+	base, err := filepath.Abs(s.cfg.IngestDir)
+	if err != nil {
+		return "", err
+	}
+	abs := filepath.Clean(filepath.Join(base, p))
+	rel, err := filepath.Rel(base, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("%w: %q escapes the ingest directory", ErrIngestForbidden, p)
+	}
+	return abs, nil
+}
+
+// Submit validates spec, consults the result cache, and either returns a
+// job that is already done (cache hit — no recomputation, no queue slot)
+// or enqueues the work. It fails fast on unknown graphs and algorithms
+// and returns ErrQueueFull when the queue is at capacity.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := s.store.Info(spec.GraphID); !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, spec.GraphID)
+	}
+
+	now := time.Now()
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMillis > 0 {
+		timeout = time.Duration(spec.TimeoutMillis) * time.Millisecond
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j := &Job{
+		spec:    spec,
+		state:   JobQueued,
+		created: now,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+
+	key := spec.CacheKey()
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel()
+			return nil, ErrClosed
+		}
+		s.register(j)
+		s.mu.Unlock()
+		j.finish(now, JobDone, res, "", true)
+		s.pruneFinished(j)
+		return j, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	// In-flight deduplication: an identical computation already queued or
+	// running makes this job a follower — it gets its own ID, deadline
+	// and cancel, consumes no queue slot, and completes from the leader's
+	// outcome instead of recomputing. Followers are still backpressured:
+	// each costs a Job plus two goroutines, so without a cap a client
+	// hammering one slow computation could pile them up without ever
+	// seeing a 503.
+	if leader, ok := s.inflight[key]; ok && !leader.State().terminal() {
+		if s.followers >= s.cfg.QueueDepth {
+			s.mu.Unlock()
+			cancel()
+			return nil, ErrQueueFull
+		}
+		j.follower = true
+		s.followers++
+		s.register(j)
+		s.dedups++
+		s.mu.Unlock()
+		s.watch(j)
+		go s.follow(j, leader)
+		return j, nil
+	}
+	// Register before enqueueing: a worker may pop the job the instant it
+	// lands in the channel, and must find its ID already assigned.
+	s.register(j)
+	s.inflight[key] = j
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.watch(j)
+		return j, nil
+	default:
+		delete(s.jobs, j.id)
+		if s.inflight[key] == j {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// follow completes a deduplicated follower job from its leader's
+// outcome: a successful leader result is shared (flagged cached), a
+// failure is deterministic and shared too, and a canceled leader cancels
+// the follower rather than silently re-running the work. The follower's
+// own cancellation or deadline wins if it fires first.
+func (s *Service) follow(j, leader *Job) {
+	select {
+	case <-leader.Done():
+	case <-j.done:
+		return // follower canceled/expired first; its watcher handled it
+	}
+	snap := leader.Snapshot()
+	var finished bool
+	switch snap.State {
+	case JobDone:
+		finished = j.finish(time.Now(), JobDone, snap.Result, "", true)
+	case JobFailed:
+		finished = j.finish(time.Now(), JobFailed, nil, snap.Error, true)
+	default: // canceled
+		finished = j.finish(time.Now(), JobCanceled, nil,
+			"deduplicated onto job "+leader.ID()+", which was canceled", false)
+	}
+	if finished {
+		s.pruneFinished(j)
+	}
+}
+
+// watch moves a job to JobCanceled as soon as its context expires — even
+// while it still sits in the queue, so deadlines are reflected promptly
+// rather than at the next worker pop. The goroutine exits when the job
+// reaches a terminal state by any path.
+func (s *Service) watch(j *Job) {
+	go func() {
+		select {
+		case <-j.ctx.Done():
+			if j.finish(time.Now(), JobCanceled, nil, j.ctx.Err().Error(), false) {
+				s.pruneFinished(j)
+			}
+		case <-j.done:
+		}
+	}()
+}
+
+// register assigns an ID and indexes the job; the caller holds s.mu.
+func (s *Service) register(j *Job) {
+	s.nextID++
+	j.id = "j-" + strconv.FormatInt(s.nextID, 10)
+	s.jobs[j.id] = j
+}
+
+// Get returns the job with the given ID, if it is still retained.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires, and
+// returns its then-current snapshot.
+func (s *Service) Wait(ctx context.Context, j *Job) JobSnapshot {
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+	}
+	return j.Snapshot()
+}
+
+// Cancel cancels the job with the given ID; it reports false if the job
+// is unknown or already terminal.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	if !j.Cancel("canceled by client") {
+		return false
+	}
+	s.pruneFinished(j)
+	return true
+}
+
+// Jobs returns snapshots of every retained job, oldest first.
+func (s *Service) Jobs() []JobSnapshot {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].created.Before(jobs[k].created) })
+	out := make([]JobSnapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// worker drains the queue until Close closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job. The algorithm runs in its own goroutine so
+// that a cancellation or deadline releases the worker immediately; the
+// abandoned computation finishes in the background and its result is
+// discarded (the library's algorithms are not preemptible).
+func (s *Service) runJob(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		if j.finish(time.Now(), JobCanceled, nil, err.Error(), false) {
+			s.pruneFinished(j)
+		}
+		return
+	}
+	if !j.tryStart(time.Now()) {
+		return // canceled while queued; whoever finished it pruned it
+	}
+	type outcome struct {
+		res *JobResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			// A panicking algorithm must fail its job, not kill the daemon.
+			if r := recover(); r != nil {
+				ch <- outcome{nil, fmt.Errorf("service: algorithm panicked: %v", r)}
+			}
+		}()
+		res, err := s.execute(j.ctx, j.spec)
+		ch <- outcome{res, err}
+	}()
+	finished := false
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			finished = j.finish(time.Now(), JobFailed, nil, out.err.Error(), false)
+		} else {
+			s.cache.put(j.spec.CacheKey(), out.res)
+			finished = j.finish(time.Now(), JobDone, out.res, "", false)
+		}
+	case <-j.ctx.Done():
+		finished = j.finish(time.Now(), JobCanceled, nil, j.ctx.Err().Error(), false)
+	}
+	if finished {
+		s.pruneFinished(j)
+	}
+}
+
+// finishedRec tracks one retained finished job for retention accounting.
+type finishedRec struct {
+	id    string
+	bytes int64
+}
+
+// pruneFinished records that j reached a terminal state: it releases j's
+// in-flight dedup slot and forgets the oldest finished jobs beyond the
+// retention budgets (cfg.RetainJobs entries; result bytes bounded by the
+// result-cache byte budget, since retained results pin memory exactly
+// like cache entries do). Queued and running jobs are never pruned.
+// Exactly one caller runs this per job — the finish() winner.
+func (s *Service) pruneFinished(j *Job) {
+	snap := j.Snapshot()
+	// Cache hits and dedup followers share one *JobResult with the cache
+	// entry (and with each other), so only an actually-computed result
+	// counts its full size toward retention; shared references pin ~0
+	// extra memory and charging them fully would evict other clients'
+	// pollable jobs for no real gain.
+	bytes := int64(256)
+	if !snap.Cached {
+		bytes = approxResultBytes(snap.Result)
+	}
+	maxBytes := s.cfg.ResultCacheBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxCacheBytes
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.spec.CacheKey()] == j {
+		delete(s.inflight, j.spec.CacheKey())
+	}
+	if j.follower {
+		s.followers--
+	}
+	s.finished = append(s.finished, finishedRec{id: j.id, bytes: bytes})
+	s.retainedBytes += bytes
+	for len(s.finished) > 1 &&
+		(len(s.finished) > s.cfg.RetainJobs || s.retainedBytes > maxBytes) {
+		oldest := s.finished[0]
+		s.finished = s.finished[1:]
+		s.retainedBytes -= oldest.bytes
+		delete(s.jobs, oldest.id)
+	}
+}
+
+// execute fetches the graph and dispatches to the requested entry point,
+// verifying decompositions before returning them.
+func (s *Service) execute(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	g, err := s.store.Get(spec.GraphID)
+	if err != nil {
+		return nil, err
+	}
+	if s.execHook != nil {
+		return s.execHook(ctx, g, spec)
+	}
+	return RunSpec(g, spec)
+}
+
+// RunSpec runs the algorithm a spec names directly on a graph. It is the
+// single dispatch point shared by the worker pool and by tests that want
+// the cold-path result without a service.
+func RunSpec(g *graph.Graph, spec JobSpec) (*JobResult, error) {
+	opts := spec.Options
+	switch spec.Algorithm {
+	case "decompose":
+		d, err := nwforest.Decompose(g, opts)
+		return verified(g, d, err, nwforest.Verify)
+	case "list":
+		k := spec.listPaletteSize()
+		if k < 1 {
+			return nil, fmt.Errorf("service: list needs a palette of at least 1 color, got %d", k)
+		}
+		d, err := nwforest.DecomposeList(g, nwforest.FullPalettes(g.M(), k), opts)
+		if err != nil {
+			return nil, err
+		}
+		// List colorings draw color IDs from the palette [0, k), not the
+		// contiguous [0, NumForests), so validity is against k.
+		if err := nwforest.Verify(g, d.Colors, k); err != nil {
+			return nil, fmt.Errorf("service: result failed verification: %w", err)
+		}
+		return &JobResult{Decomposition: d}, nil
+	case "stars":
+		d, err := nwforest.DecomposeStars(g, nil, opts)
+		return verified(g, d, err, nwforest.VerifyStars)
+	case "stars-list24":
+		k := spec.starsList24PaletteSize()
+		if k < 1 {
+			return nil, fmt.Errorf("service: stars-list24 needs a palette of at least 1 color, got %d", k)
+		}
+		d, err := nwforest.DecomposeStarsList24(g, nwforest.FullPalettes(g.M(), k), spec.AlphaStar, opts.Eps)
+		if err != nil {
+			return nil, err
+		}
+		// The list variant may use color IDs up to the palette size, not
+		// NumForests, so verify against the palette size.
+		if err := nwforest.VerifyStars(g, d.Colors, k); err != nil {
+			return nil, fmt.Errorf("service: result failed verification: %w", err)
+		}
+		return &JobResult{Decomposition: d}, nil
+	case "be":
+		d, err := nwforest.DecomposeBE(g, spec.beAlphaStar(), opts.Eps)
+		return verified(g, d, err, nwforest.Verify)
+	case "pseudo":
+		// DecomposePseudo verifies internally.
+		d, err := nwforest.DecomposePseudo(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{Decomposition: d}, nil
+	case "orient":
+		o, err := nwforest.Orient(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{Orientation: o}, nil
+	case "estimate-alpha":
+		est, rounds, err := nwforest.EstimateAlpha(g)
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{Alpha: est, Rounds: rounds}, nil
+	case "arboricity":
+		alpha, colors := nwforest.Arboricity(g)
+		return &JobResult{Alpha: alpha, Decomposition: &nwforest.Decomposition{
+			Colors:     colors,
+			NumForests: alpha,
+			Diameter:   nwforest.Diameter(g, colors),
+		}}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown algorithm %q", spec.Algorithm)
+	}
+}
+
+// verified wraps a decomposition result, rejecting any that fails its
+// validity check — the service never caches or serves an invalid
+// decomposition.
+func verified(g *graph.Graph, d *nwforest.Decomposition, err error, check func(*graph.Graph, []int32, int) error) (*JobResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	if err := check(g, d.Colors, d.NumForests); err != nil {
+		return nil, fmt.Errorf("service: result failed verification: %w", err)
+	}
+	return &JobResult{Decomposition: d}, nil
+}
+
+func validAlgorithm(name string) bool {
+	for _, a := range Algorithms {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds on client-supplied job parameters. Derived quantities allocate
+// proportionally (FullPalettes allocates a palette of PaletteSize colors;
+// palette sizes scale with (1+Eps)*Alpha), so an unauthenticated request
+// must not be able to commission a giant allocation through them —
+// the same threat model as graph.maxHeaderCount on the ingest side. The
+// caps are orders of magnitude above any meaningful value: arboricity
+// never exceeds n, and n is itself capped at 2^24 by ingestion.
+const (
+	maxJobAlpha   = 1 << 20
+	maxJobPalette = 1 << 24
+	maxJobEps     = 16.0
+)
+
+// validate rejects parameter combinations the algorithms would reject
+// obscurely — or panic on — only after a worker picks the job up, so
+// clients get a 400 at submit time instead.
+func (sp JobSpec) validate() error {
+	if !validAlgorithm(sp.Algorithm) {
+		return fmt.Errorf("service: unknown algorithm %q (want one of %v)", sp.Algorithm, Algorithms)
+	}
+	if sp.AlphaStar < 0 || sp.AlphaStar > maxJobAlpha {
+		return fmt.Errorf("service: alphaStar must be in [0, %d], got %d", maxJobAlpha, sp.AlphaStar)
+	}
+	if sp.PaletteSize < 0 || sp.PaletteSize > maxJobPalette {
+		return fmt.Errorf("service: paletteSize must be in [0, %d], got %d", maxJobPalette, sp.PaletteSize)
+	}
+	if sp.Options.Alpha < 0 || sp.Options.Alpha > maxJobAlpha {
+		return fmt.Errorf("service: options.alpha must be in [0, %d], got %d", maxJobAlpha, sp.Options.Alpha)
+	}
+	needsEps := true
+	switch sp.Algorithm {
+	case "decompose", "list", "stars", "pseudo", "orient":
+		if sp.Options.Alpha < 1 {
+			return fmt.Errorf("service: %s requires options.alpha >= 1", sp.Algorithm)
+		}
+	case "be":
+		if sp.AlphaStar < 1 && sp.Options.Alpha < 1 {
+			return fmt.Errorf("service: be requires alphaStar (or options.alpha) >= 1")
+		}
+	case "stars-list24":
+		if sp.AlphaStar < 1 {
+			return fmt.Errorf("service: stars-list24 requires alphaStar >= 1")
+		}
+	default: // estimate-alpha, arboricity: parameterless
+		needsEps = false
+	}
+	if needsEps && !(sp.Options.Eps > 0 && sp.Options.Eps <= maxJobEps) { // the negation also rejects NaN
+		return fmt.Errorf("service: %s requires options.eps in (0, %g]", sp.Algorithm, maxJobEps)
+	}
+	return nil
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	Workers    int            `json:"workers"`
+	QueueDepth int            `json:"queueDepth"`
+	QueueCap   int            `json:"queueCap"`
+	Jobs       map[string]int `json:"jobs"`
+	// Dedups counts submissions that attached to an identical in-flight
+	// job instead of recomputing.
+	Dedups int64 `json:"dedups"`
+	// RetainedResultBytes is the approximate memory pinned by finished
+	// jobs still pollable.
+	RetainedResultBytes int64      `json:"retainedResultBytes"`
+	Store               StoreStats `json:"store"`
+	Results             CacheStats `json:"results"`
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	byState := make(map[string]int)
+	for _, j := range s.jobs {
+		byState[string(j.State())]++
+	}
+	dedups, retained := s.dedups, s.retainedBytes
+	s.mu.Unlock()
+	return Stats{
+		Workers:             s.cfg.Workers,
+		QueueDepth:          len(s.queue),
+		QueueCap:            cap(s.queue),
+		Jobs:                byState,
+		Dedups:              dedups,
+		RetainedResultBytes: retained,
+		Store:               s.store.Stats(),
+		Results:             s.cache.stats(),
+	}
+}
+
+// Close shuts the service down gracefully: new submissions fail with
+// ErrClosed, every in-flight job's context is canceled, and Close waits
+// (up to ctx's deadline) for the workers to drain.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()       // cancels every job context derived from baseCtx
+	close(s.queue) // workers exit once the queue drains
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown timed out: %w", ctx.Err())
+	}
+}

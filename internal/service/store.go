@@ -1,0 +1,285 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"nwforest/internal/graph"
+)
+
+// Store ingests graphs, content-addresses them by the SHA-256 of their
+// raw bytes, and keeps parsed *graph.Graph values warm in an LRU. The
+// source of every graph (uploaded bytes, or a file path) is retained, so
+// a graph evicted from the warm set is transparently re-parsed on its
+// next use rather than lost. Upload-backed sources hold their raw bytes
+// in memory, so their total is bounded by maxSourceBytes: beyond it the
+// oldest uploads are dropped entirely (their IDs become unknown) rather
+// than letting a long-lived server grow without bound. File-backed
+// sources retain only the path and never count against the budget.
+type Store struct {
+	mu             sync.Mutex
+	sources        map[string]*graphSource
+	warm           *lru[string, *graph.Graph]
+	uploadOrder    []string // upload-backed IDs, oldest first
+	uploadBytes    int64
+	maxSourceBytes int64
+
+	hits, misses, evictions, reparses, sourceEvictions int64
+}
+
+// graphSource is where a stored graph's bytes live.
+type graphSource struct {
+	info GraphInfo
+	path string // file-backed when non-empty
+	data []byte // upload-backed otherwise
+}
+
+// GraphInfo describes a stored graph.
+type GraphInfo struct {
+	// ID is "sha256:" + the hex digest of the graph's raw bytes.
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Format string `json:"format"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// StoreStats are the Store's counters, as served by /stats.
+type StoreStats struct {
+	// Graphs is the number of distinct graphs ingested.
+	Graphs int `json:"graphs"`
+	// Warm is how many of them are currently parsed in the LRU.
+	Warm int `json:"warm"`
+	// WarmCapacity is the LRU capacity.
+	WarmCapacity int `json:"warmCapacity"`
+	// Hits / Misses count Get lookups served from / outside the LRU.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts parsed graphs dropped from the LRU.
+	Evictions int64 `json:"evictions"`
+	// Reparses counts cold Gets that re-parsed from the retained source.
+	Reparses int64 `json:"reparses"`
+	// RetainedBytes is the raw bytes currently held for upload-backed
+	// graphs; SourceEvictions counts uploads dropped to stay within the
+	// retention budget.
+	RetainedBytes   int64 `json:"retainedBytes"`
+	SourceEvictions int64 `json:"sourceEvictions"`
+}
+
+// DefaultMaxSourceBytes is the upload-retention budget NewStore applies
+// when given maxSourceBytes <= 0.
+const DefaultMaxSourceBytes = 1 << 30
+
+// NewStore returns a store keeping at most capacity parsed graphs warm
+// and at most maxSourceBytes of upload-backed raw bytes (<= 0 selects
+// DefaultMaxSourceBytes).
+func NewStore(capacity int, maxSourceBytes int64) *Store {
+	if maxSourceBytes <= 0 {
+		maxSourceBytes = DefaultMaxSourceBytes
+	}
+	s := &Store{sources: make(map[string]*graphSource), maxSourceBytes: maxSourceBytes}
+	s.warm = newLRU[string, *graph.Graph](capacity, func(string, *graph.Graph) { s.evictions++ })
+	return s
+}
+
+// hashID content-addresses a graph by its raw bytes AND the format they
+// are parsed under. Some byte strings are valid in two formats and
+// decode to different graphs (e.g. a "n m" header file read as plain vs
+// METIS), so the format is part of the identity; auto-detection resolves
+// to a concrete format before hashing, which keeps "auto" and an
+// explicit matching format on the same ID.
+func hashID(f graph.Format, data []byte) string {
+	h := sha256.New()
+	h.Write([]byte(f))
+	h.Write([]byte{0})
+	h.Write(data)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// AddBytes ingests an uploaded graph. f selects the wire format
+// (FormatAuto detects it). Re-adding identical bytes is idempotent and
+// returns the existing entry.
+func (s *Store) AddBytes(data []byte, f graph.Format) (GraphInfo, error) {
+	return s.add(data, f, "")
+}
+
+// AddFile ingests a graph from a file on the server's filesystem. Only
+// the path is retained; on a cold Get the file is re-read and its hash
+// re-checked, so a file that changed on disk is reported rather than
+// silently served under the old ID.
+func (s *Store) AddFile(path string, f graph.Format) (GraphInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return s.add(data, f, path)
+}
+
+func (s *Store) add(data []byte, f graph.Format, path string) (GraphInfo, error) {
+	format, err := resolveFormat(data, f)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	id := hashID(format, data)
+	s.mu.Lock()
+	if src, ok := s.sources[id]; ok {
+		info := src.info
+		s.mu.Unlock()
+		return info, nil
+	}
+	s.mu.Unlock()
+
+	g, err := graph.DecodeFormat(bytes.NewReader(data), format)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	info := GraphInfo{ID: id, N: g.N(), M: g.M(), Format: string(format), Bytes: int64(len(data))}
+	src := &graphSource{info: info, path: path}
+	if path == "" {
+		src.data = data
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.sources[id]; ok { // lost a race with an identical upload
+		return existing.info, nil
+	}
+	s.sources[id] = src
+	s.warm.put(id, g)
+	if path == "" {
+		s.uploadOrder = append(s.uploadOrder, id)
+		s.uploadBytes += int64(len(data))
+		// Stay within the retention budget by forgetting the oldest
+		// uploads — but never the one just added, even if it alone
+		// exceeds the budget.
+		for s.uploadBytes > s.maxSourceBytes && len(s.uploadOrder) > 1 {
+			oldest := s.uploadOrder[0]
+			s.uploadOrder = s.uploadOrder[1:]
+			old, ok := s.sources[oldest]
+			if !ok {
+				continue
+			}
+			s.uploadBytes -= int64(len(old.data))
+			delete(s.sources, oldest)
+			s.warm.remove(oldest)
+			s.sourceEvictions++
+		}
+	}
+	return info, nil
+}
+
+// resolveFormat turns an auto format request into the concrete detected
+// format (a cheap sniff of the first line, no full parse).
+func resolveFormat(data []byte, f graph.Format) (graph.Format, error) {
+	if f != "" && f != graph.FormatAuto {
+		return f, nil
+	}
+	// Size the reader to peekLine's full 64 KiB lookahead: the default
+	// 4 KiB bufio.Reader would truncate the sniff window and misjudge
+	// uploads whose first meaningful line sits past (or straddles) 4 KiB.
+	return graph.DetectFormat(bufio.NewReaderSize(bytes.NewReader(data), 1<<16))
+}
+
+// Info returns the metadata of a stored graph.
+func (s *Store) Info(id string) (GraphInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[id]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return src.info, true
+}
+
+// Get returns the parsed graph for id, re-parsing from the retained
+// source if it has been evicted from the warm set.
+func (s *Store) Get(id string) (*graph.Graph, error) {
+	s.mu.Lock()
+	src, ok := s.sources[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: unknown graph %q", id)
+	}
+	if g, ok := s.warm.get(id); ok {
+		s.hits++
+		s.mu.Unlock()
+		return g, nil
+	}
+	s.misses++
+	s.mu.Unlock()
+
+	// Re-parse outside the lock; a concurrent Get of the same cold graph
+	// may duplicate the work, which is harmless.
+	data := src.data
+	format := graph.Format(src.info.Format)
+	if src.path != "" {
+		var err error
+		if data, err = os.ReadFile(src.path); err != nil {
+			return nil, fmt.Errorf("service: re-reading %s: %w", src.path, err)
+		}
+		if got := hashID(format, data); got != id {
+			return nil, fmt.Errorf("service: %s changed on disk (now %s, stored as %s)", src.path, got, id)
+		}
+	}
+	g, err := graph.DecodeFormat(bytes.NewReader(data), format)
+	if err != nil {
+		return nil, fmt.Errorf("service: re-parsing %q: %w", id, err)
+	}
+	s.mu.Lock()
+	s.reparses++
+	// Re-check the source under the lock: a concurrent budget eviction
+	// may have dropped this graph, and warming an unreachable entry would
+	// pin it in the LRU. The caller still gets g either way.
+	if _, still := s.sources[id]; still {
+		s.warm.put(id, g)
+	}
+	s.mu.Unlock()
+	return g, nil
+}
+
+// List returns the metadata of every stored graph, sorted by ID.
+func (s *Store) List() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.sources))
+	for _, src := range s.sources {
+		out = append(out, src.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Graphs:          len(s.sources),
+		Warm:            s.warm.len(),
+		WarmCapacity:    s.warm.capacity,
+		Hits:            s.hits,
+		Misses:          s.misses,
+		Evictions:       s.evictions,
+		Reparses:        s.reparses,
+		RetainedBytes:   s.uploadBytes,
+		SourceEvictions: s.sourceEvictions,
+	}
+}
+
+// readAll is io.ReadAll with a size cap, for upload bodies.
+func readAll(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("service: input exceeds %d bytes", limit)
+	}
+	return data, nil
+}

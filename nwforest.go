@@ -28,6 +28,7 @@ package nwforest
 
 import (
 	"fmt"
+	"strconv"
 
 	"nwforest/internal/core"
 	"nwforest/internal/dist"
@@ -58,18 +59,33 @@ func NewGraph(n int, edges [][2]int) (*Graph, error) {
 type Options struct {
 	// Alpha is a globally known upper bound on the arboricity (required;
 	// use Arboricity to compute it exactly when unknown).
-	Alpha int
+	Alpha int `json:"alpha"`
 	// Eps is the excess parameter ε in (0, 1]; the decompositions target
 	// (1+ε)·Alpha + O(1) forests.
-	Eps float64
+	Eps float64 `json:"eps"`
 	// Seed makes runs reproducible.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// ReduceDiameter additionally caps every monochromatic tree's
 	// diameter at O(1/ε) (Corollary 2.5), costing O(εα) extra forests.
-	ReduceDiameter bool
+	ReduceDiameter bool `json:"reduceDiameter,omitempty"`
 	// Sampled switches the CUT procedure to the conditioned-sampling rule
 	// of Theorem 4.2(3)/(4), the regime for small α.
-	Sampled bool
+	Sampled bool `json:"sampled,omitempty"`
+}
+
+// Key returns a canonical string encoding of o: two Options values yield
+// the same Key exactly when every field that influences algorithm output
+// is equal. Since all randomness is deterministic given Seed, a Key
+// together with a graph identity and an algorithm name fully determines a
+// result, which makes Key suitable as a result-cache key (internal/service
+// uses it that way). The float field is rendered with strconv's shortest
+// round-trip formatting, so distinct bit patterns never collide.
+func (o Options) Key() string {
+	return "alpha=" + strconv.Itoa(o.Alpha) +
+		",eps=" + strconv.FormatFloat(o.Eps, 'g', -1, 64) +
+		",seed=" + strconv.FormatUint(o.Seed, 10) +
+		",diam=" + strconv.FormatBool(o.ReduceDiameter) +
+		",sampled=" + strconv.FormatBool(o.Sampled)
 }
 
 func (o Options) rule() core.CutRule {
@@ -82,15 +98,15 @@ func (o Options) rule() core.CutRule {
 // Decomposition is a forest decomposition of a graph.
 type Decomposition struct {
 	// Colors[id] is the forest index of edge id.
-	Colors []int32
+	Colors []int32 `json:"colors"`
 	// NumForests is the number of forests used.
-	NumForests int
+	NumForests int `json:"numForests"`
 	// Diameter is the maximum monochromatic tree diameter.
-	Diameter int
+	Diameter int `json:"diameter"`
 	// Rounds is the LOCAL round complexity of the run.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Phases breaks Rounds down by algorithm phase.
-	Phases []dist.Phase
+	Phases []dist.Phase `json:"phases,omitempty"`
 }
 
 // Decompose partitions the edges of g into close to (1+ε)·Alpha forests
@@ -209,11 +225,13 @@ func DecomposeBE(g *Graph, alphaStar int, eps float64) (*Decomposition, error) {
 // Orientation assigns every edge a direction.
 type Orientation struct {
 	// FromU[id] reports whether edge id points from its U endpoint to V.
-	FromU []bool
+	FromU []bool `json:"fromU"`
 	// MaxOutDegree is the maximum out-degree realized.
-	MaxOutDegree int
+	MaxOutDegree int `json:"maxOutDegree"`
 	// Rounds is the LOCAL round complexity.
-	Rounds int
+	Rounds int `json:"rounds"`
+	// Phases breaks Rounds down by algorithm phase.
+	Phases []dist.Phase `json:"phases,omitempty"`
 }
 
 // Orient computes a (1+ε)·Alpha + O(1) orientation by decomposing into
@@ -235,6 +253,7 @@ func Orient(g *Graph, opts Options) (*Orientation, error) {
 		FromU:        o.FromU,
 		MaxOutDegree: verify.MaxOutDegree(g, o),
 		Rounds:       cost.Rounds(),
+		Phases:       cost.Breakdown(),
 	}, nil
 }
 

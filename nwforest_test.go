@@ -135,6 +135,42 @@ func TestOrientPublicAPI(t *testing.T) {
 	if o.Rounds == 0 {
 		t.Fatal("no rounds reported")
 	}
+	if len(o.Phases) == 0 {
+		t.Fatal("no phase breakdown")
+	}
+	sum := 0
+	for _, p := range o.Phases {
+		sum += p.Rounds
+	}
+	if sum != o.Rounds {
+		t.Fatalf("phase rounds sum to %d, total is %d", sum, o.Rounds)
+	}
+}
+
+func TestOptionsKeyCanonical(t *testing.T) {
+	a := nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 1}
+	if a.Key() != (nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 1}).Key() {
+		t.Fatal("equal Options produced different keys")
+	}
+	variants := []nwforest.Options{
+		{Alpha: 4, Eps: 0.5, Seed: 1},
+		{Alpha: 3, Eps: 0.25, Seed: 1},
+		{Alpha: 3, Eps: 0.5, Seed: 2},
+		{Alpha: 3, Eps: 0.5, Seed: 1, ReduceDiameter: true},
+		{Alpha: 3, Eps: 0.5, Seed: 1, Sampled: true},
+	}
+	seen := map[string]bool{a.Key(): true}
+	for _, v := range variants {
+		if seen[v.Key()] {
+			t.Fatalf("Options %+v collides with an earlier key %q", v, v.Key())
+		}
+		seen[v.Key()] = true
+	}
+	// Nearby-but-distinct floats must not collide.
+	b := nwforest.Options{Alpha: 3, Eps: 0.5 + 1e-12, Seed: 1}
+	if b.Key() == a.Key() {
+		t.Fatal("distinct Eps bit patterns share a key")
+	}
 }
 
 func TestDiameterHelper(t *testing.T) {
