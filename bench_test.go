@@ -3,7 +3,9 @@ package nwforest_test
 import (
 	"testing"
 
+	"nwforest"
 	"nwforest/internal/experiments"
+	"nwforest/internal/gen"
 )
 
 // One benchmark per paper artifact: each runs the experiment that
@@ -75,3 +77,21 @@ func BenchmarkBaselineBE(b *testing.B) { runExperiment(b, "baseline") }
 
 // BenchmarkExactGW regenerates the Gabow-Westermann exact ground truth.
 func BenchmarkExactGW(b *testing.B) { runExperiment(b, "exact") }
+
+// BenchmarkDecompose is the end-to-end hot path: one full
+// (1+eps)a-forest decomposition of a 4-tree multigraph union through the
+// public API, the same call the nwserve workers execute per job.
+func BenchmarkDecompose(b *testing.B) {
+	g := gen.ForestUnion(2000, 4, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := nwforest.Decompose(g, nwforest.Options{Alpha: 4, Eps: 0.5, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.NumForests < 4 {
+			b.Fatalf("NumForests = %d", d.NumForests)
+		}
+	}
+}

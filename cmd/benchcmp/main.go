@@ -1,0 +1,145 @@
+// Command benchcmp is the CI bench-regression gate: it compares two
+// BENCH_*.json files produced by `nwbench -json` and exits non-zero when
+// the new run regresses against the baseline.
+//
+// Allocation metrics (allocs/op, B/op) are deterministic given the
+// benchmark seed, so they are always gated. Wall time is only gated when
+// both files were produced on the same CPU model — comparing ns/op
+// across different hardware is noise, not signal; the gate reports the
+// skip explicitly so the log shows what was and wasn't checked.
+//
+// Usage:
+//
+//	benchcmp [-threshold 0.10] [-force-ns] baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Record mirrors nwbench's BenchRecord.
+type Record struct {
+	Name     string             `json:"name"`
+	NsOp     int64              `json:"ns_op"`
+	BOp      int64              `json:"b_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File mirrors nwbench's BenchFile.
+type File struct {
+	Schema      int      `json:"schema"`
+	Go          string   `json:"go"`
+	CPU         string   `json:"cpu"`
+	Scale       int      `json:"scale"`
+	Seed        uint64   `json:"seed"`
+	Count       int      `json:"count"`
+	Experiments []Record `json:"experiments"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression before failing")
+	nsThreshold := flag.Float64("ns-threshold", -1, "separate threshold for ns/op (-1 = same as -threshold); CI uses a loose one because shared-runner wall time is noisy even on nominally identical CPUs")
+	forceNS := flag.Bool("force-ns", false, "gate ns/op even when the CPU models differ")
+	flag.Parse()
+	if *nsThreshold < 0 {
+		*nsThreshold = *threshold
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] [-force-ns] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if base.Scale != cur.Scale || base.Seed != cur.Seed {
+		fatal(fmt.Errorf("incomparable runs: baseline scale=%d seed=%d vs new scale=%d seed=%d",
+			base.Scale, base.Seed, cur.Scale, cur.Seed))
+	}
+	gateNS := *forceNS || (base.CPU != "" && base.CPU == cur.CPU)
+	if !gateNS {
+		fmt.Printf("benchcmp: ns/op not gated (baseline CPU %q, new CPU %q); gating allocs/op and B/op only\n",
+			base.CPU, cur.CPU)
+	}
+
+	curByName := make(map[string]Record, len(cur.Experiments))
+	for _, r := range cur.Experiments {
+		curByName[r.Name] = r
+	}
+	failures := 0
+	for _, old := range base.Experiments {
+		now, ok := curByName[old.Name]
+		if !ok {
+			fmt.Printf("FAIL %-12s missing from new run\n", old.Name)
+			failures++
+			continue
+		}
+		failures += compare(old.Name, "allocs/op", old.AllocsOp, now.AllocsOp, *threshold, 64)
+		failures += compare(old.Name, "B/op", old.BOp, now.BOp, *threshold, 4096)
+		if gateNS {
+			failures += compare(old.Name, "ns/op", old.NsOp, now.NsOp, *nsThreshold, 1_000_000)
+		}
+		delete(curByName, old.Name)
+	}
+	for name := range curByName {
+		fmt.Printf("note %-12s new experiment, no baseline yet\n", name)
+	}
+	if failures > 0 {
+		fmt.Printf("benchcmp: %d regression(s) beyond the threshold\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: no regressions")
+}
+
+// compare reports (and counts) a regression when now exceeds old by more
+// than the fractional threshold. absSlack absorbs jitter on tiny values,
+// where a handful of extra allocations is within run-to-run variance but
+// far beyond any percentage gate.
+func compare(name, metric string, old, now int64, threshold float64, absSlack int64) int {
+	limit := old + int64(float64(old)*threshold)
+	if limit < old+absSlack {
+		limit = old + absSlack
+	}
+	if now > limit {
+		fmt.Printf("FAIL %-12s %-9s %12d -> %12d (+%.1f%%, limit +%.0f%%)\n",
+			name, metric, old, now, pct(old, now), threshold*100)
+		return 1
+	}
+	fmt.Printf("ok   %-12s %-9s %12d -> %12d (%+.1f%%)\n", name, metric, old, now, pct(old, now))
+	return 0
+}
+
+func pct(old, now int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (float64(now) - float64(old)) / float64(old)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, f.Schema)
+	}
+	return &f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -2,26 +2,60 @@
 // registered experiments (see internal/experiments and EXPERIMENTS.md) and
 // prints the measured tables.
 //
+// With -json it instead emits one machine-readable benchmark record per
+// registered experiment — wall time, allocated bytes and allocation count
+// per run, plus the experiment's own metrics (rounds, messages, colors,
+// ...) — the format the committed BENCH_*.json baselines use and the CI
+// bench-regression gate (cmd/benchcmp) compares against.
+//
 // Usage:
 //
 //	nwbench -list
 //	nwbench -exp table1
 //	nwbench -exp all -scale 2 -seed 7
+//	nwbench -json -count 5 -o BENCH_PR3.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"nwforest/internal/experiments"
 )
+
+// BenchRecord is one experiment's measurement in the -json output.
+type BenchRecord struct {
+	Name     string             `json:"name"`
+	NsOp     int64              `json:"ns_op"`
+	BOp      int64              `json:"b_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchFile is the top-level -json document.
+type BenchFile struct {
+	Schema      int           `json:"schema"`
+	Go          string        `json:"go"`
+	CPU         string        `json:"cpu,omitempty"`
+	Scale       int           `json:"scale"`
+	Seed        uint64        `json:"seed"`
+	Count       int           `json:"count"`
+	Experiments []BenchRecord `json:"experiments"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment name, or 'all'")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	seed := flag.Uint64("seed", 12345, "random seed")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark records instead of tables")
+	count := flag.Int("count", 3, "with -json: runs per experiment (best wall time is kept)")
+	out := flag.String("o", "-", "with -json: output file ('-' = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +76,15 @@ func main() {
 		}
 		runners = []experiments.Runner{*r}
 	}
+
+	if *jsonOut {
+		if err := runJSON(runners, cfg, *count, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "nwbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	failed := false
 	for _, r := range runners {
 		tab, err := r.Run(cfg)
@@ -55,4 +98,84 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func runJSON(runners []experiments.Runner, cfg experiments.Config, count int, out string) error {
+	if count < 1 {
+		count = 1
+	}
+	doc := BenchFile{
+		Schema: 1,
+		Go:     runtime.Version(),
+		CPU:    cpuModel(),
+		Scale:  cfg.Scale,
+		Seed:   cfg.Seed,
+		Count:  count,
+	}
+	for _, r := range runners {
+		rec, err := measure(r, cfg, count)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+		doc.Experiments = append(doc.Experiments, rec)
+		fmt.Fprintf(os.Stderr, "nwbench: %-12s %12d ns/op %12d B/op %9d allocs/op\n",
+			rec.Name, rec.NsOp, rec.BOp, rec.AllocsOp)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" || out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// measure runs one experiment count times and keeps the best wall time
+// together with that run's allocation deltas. Experiments are
+// deterministic given the seed, so allocation counts are stable across
+// runs; wall time takes the minimum, the standard noise filter.
+func measure(r experiments.Runner, cfg experiments.Config, count int) (BenchRecord, error) {
+	rec := BenchRecord{Name: r.Name, NsOp: int64(^uint64(0) >> 1)}
+	for i := 0; i < count; i++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		tab, err := r.Run(cfg)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return rec, err
+		}
+		if ns := elapsed.Nanoseconds(); ns < rec.NsOp {
+			rec.NsOp = ns
+			rec.BOp = int64(m1.TotalAlloc - m0.TotalAlloc)
+			rec.AllocsOp = int64(m1.Mallocs - m0.Mallocs)
+		}
+		rec.Metrics = tab.Metrics
+	}
+	return rec, nil
+}
+
+// cpuModel best-effort identifies the host CPU so benchcmp can decide
+// whether wall-time comparison against a baseline is meaningful. It
+// returns "" when no concrete model name is available (non-Linux, or
+// cpuinfo without a "model name" line, as on many arm64 machines):
+// benchcmp treats an empty model as "unknown hardware" and skips the
+// wall-time gate, whereas a generic fallback like GOARCH would make two
+// unrelated machines look identical and gate noise.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
 }

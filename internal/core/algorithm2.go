@@ -153,6 +153,16 @@ func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Re
 	removed := make([]bool, g.M())
 	logN := int(math.Ceil(math.Log2(float64(g.N() + 2))))
 
+	// Per-cluster scratch, reused across all clusters: the inner and
+	// outer balls are epoch-stamped marks filled by a shared-buffer BFS,
+	// and one Searcher carries the augmenting-search state.
+	searcher := NewSearcher(st)
+	var bfs graph.BFSScratch
+	innerMark := make([]uint32, g.N())
+	outerMark := make([]uint32, g.N())
+	var clusterEp uint32
+	var annulus []int32
+
 	for class := int32(0); class < int32(nd.NumClasses); class++ {
 		clusters := nd.Clusters(class)
 		centers := make([]int32, 0, len(clusters))
@@ -163,18 +173,21 @@ func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Re
 		for _, center := range centers {
 			members := clusters[center]
 			res.Stats.Clusters++
-			inner := ballSet(g, members, rPrime)
-			outer := ballSet(g, members, r+rPrime)
-			inInner := func(v int32) bool { return inner[v] }
-			inOuter := func(v int32) bool { return outer[v] }
-
-			// CUT the annulus (Theorem 4.2).
-			annulus := make([]int32, 0)
-			for v := range outer {
-				if !inner[v] {
+			clusterEp++
+			ep := clusterEp
+			g.BFSWith(&bfs, members, rPrime, func(v int32, _ int) { innerMark[v] = ep })
+			// The outer pass also collects the annulus (outer minus inner).
+			annulus = annulus[:0]
+			g.BFSWith(&bfs, members, r+rPrime, func(v int32, _ int) {
+				outerMark[v] = ep
+				if innerMark[v] != ep {
 					annulus = append(annulus, v)
 				}
-			}
+			})
+			inInner := func(v int32) bool { return innerMark[v] == ep }
+			inOuter := func(v int32) bool { return outerMark[v] == ep }
+
+			// CUT the annulus (Theorem 4.2).
 			sortInt32(annulus)
 			var cut []int32
 			switch opts.Rule {
@@ -205,7 +218,7 @@ func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Re
 					if st.Color(id) != verify.Uncolored {
 						continue
 					}
-					seq, stats := FindAugmenting(st, opts.Palettes, id, inInner, inOuter, maxVisited)
+					seq, stats := searcher.FindAugmenting(opts.Palettes, id, inInner, inOuter, maxVisited)
 					if seq == nil {
 						removed[id] = true
 						res.Leftover = append(res.Leftover, id)
@@ -229,13 +242,6 @@ func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Re
 		cost.Charge(2*(r+rPrime)*logN, "core/algorithm2-class")
 	}
 	return res, nil
-}
-
-// ballSet returns the set of vertices within distance rad of the sources.
-func ballSet(g *graph.Graph, sources []int32, rad int) map[int32]bool {
-	out := make(map[int32]bool)
-	g.BFS(sources, rad, func(v int32, _ int) { out[v] = true })
-	return out
 }
 
 func sortInt32(xs []int32) {

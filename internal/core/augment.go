@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nwforest/internal/forest"
+	"nwforest/internal/graph"
 	"nwforest/internal/verify"
 )
 
@@ -47,6 +48,54 @@ type searchNode struct {
 	color      int32
 }
 
+// Searcher runs Algorithm 1 searches over one forest.State, reusing flat
+// per-edge and per-vertex scratch across calls. One decomposition issues
+// a search per uncolored edge, so hoisting the visit maps out of the
+// call is most of the end-to-end allocation profile.
+type Searcher struct {
+	st *forest.State
+	g  *graph.Graph
+
+	// Per-edge search state, epoch-stamped: edge y is in the current
+	// search iff viaEpoch[y] == epoch, and viaNode[y] then records how
+	// it was reached.
+	viaEpoch []uint32
+	viaNode  []searchNode
+	queue    []int32
+	epoch    uint32
+
+	// seqRadius scratch, per vertex.
+	seen     []uint32
+	needed   []uint32
+	dist     []int32
+	bfsQueue []int32
+}
+
+// NewSearcher returns a Searcher over st's graph.
+func NewSearcher(st *forest.State) *Searcher {
+	g := st.Graph()
+	return &Searcher{
+		st:       st,
+		g:        g,
+		viaEpoch: make([]uint32, g.M()),
+		viaNode:  make([]searchNode, g.M()),
+		seen:     make([]uint32, g.N()),
+		needed:   make([]uint32, g.N()),
+		dist:     make([]int32, g.N()),
+	}
+}
+
+func (s *Searcher) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: restamp so stale marks cannot collide
+		clear(s.viaEpoch)
+		clear(s.seen)
+		clear(s.needed)
+		s.epoch = 1
+	}
+	return s.epoch
+}
+
 // FindAugmenting runs Algorithm 1 from the uncolored edge start: a BFS
 // over edges where exploring edge x with candidate color c follows the
 // monochromatic path C(x, c). It terminates when some (x, c) has
@@ -61,24 +110,28 @@ type searchNode struct {
 //   - maxVisited caps the explored edge count (0 = no cap).
 //
 // It returns nil if no augmenting sequence was found under these bounds.
-func FindAugmenting(st *forest.State, palettes [][]int32, start int32,
+func (s *Searcher) FindAugmenting(palettes [][]int32, start int32,
 	withinSearch, withinPath func(int32) bool, maxVisited int) (Sequence, SearchStats) {
 
 	var stats SearchStats
+	st := s.st
 	if st.Color(start) != verify.Uncolored {
 		panic(fmt.Sprintf("core: FindAugmenting from colored edge %d", start))
 	}
-	g := st.Graph()
-	via := map[int32]searchNode{start: {parentEdge: -1, color: -1}}
-	queue := []int32{start}
-	frontierEnd := len(queue) // boundary of the current BFS layer, for stats
+	g := s.g
+	ep := s.nextEpoch()
+	s.viaEpoch[start] = ep
+	s.viaNode[start] = searchNode{parentEdge: -1, color: -1}
+	visited := 1
+	s.queue = append(s.queue[:0], start)
+	frontierEnd := 1 // boundary of the current BFS layer, for stats
 
-	for head := 0; head < len(queue); head++ {
+	for head := 0; head < len(s.queue); head++ {
 		if head == frontierEnd {
-			stats.GrowthSizes = append(stats.GrowthSizes, len(queue))
-			frontierEnd = len(queue)
+			stats.GrowthSizes = append(stats.GrowthSizes, len(s.queue))
+			frontierEnd = len(s.queue)
 		}
-		x := queue[head]
+		x := s.queue[head]
 		e := g.Edge(x)
 		cur := st.Color(x)
 		for _, c := range palettes[x] {
@@ -88,40 +141,49 @@ func FindAugmenting(st *forest.State, palettes [][]int32, start int32,
 			path := st.PathInColor(c, e.U, e.V, withinPath)
 			if path == nil {
 				// Almost augmenting sequence found; backtrack the chain.
-				seq := backtrack(via, x, c)
+				seq := s.backtrack(x, c)
 				seq = shortCircuit(st, seq, withinPath)
-				stats.Visited = len(via)
+				stats.Visited = visited
 				stats.Length = len(seq)
-				stats.Radius = seqRadius(st, seq)
+				stats.Radius = s.seqRadius(seq)
 				return seq, stats
 			}
 			for _, y := range path {
-				if _, seen := via[y]; seen {
+				if s.viaEpoch[y] == ep {
 					continue
 				}
 				ye := g.Edge(y)
 				if withinSearch != nil && !(withinSearch(ye.U) && withinSearch(ye.V)) {
 					continue
 				}
-				via[y] = searchNode{parentEdge: x, color: c}
-				queue = append(queue, y)
+				s.viaEpoch[y] = ep
+				s.viaNode[y] = searchNode{parentEdge: x, color: c}
+				visited++
+				s.queue = append(s.queue, y)
 			}
 		}
-		if maxVisited > 0 && len(via) > maxVisited {
+		if maxVisited > 0 && visited > maxVisited {
 			break
 		}
 	}
-	stats.Visited = len(via)
+	stats.Visited = visited
 	return nil, stats
+}
+
+// FindAugmenting is the standalone form: it builds a fresh Searcher for
+// one search. Loops should construct a Searcher once and reuse it.
+func FindAugmenting(st *forest.State, palettes [][]int32, start int32,
+	withinSearch, withinPath func(int32) bool, maxVisited int) (Sequence, SearchStats) {
+	return NewSearcher(st).FindAugmenting(palettes, start, withinSearch, withinPath, maxVisited)
 }
 
 // backtrack reconstructs the almost augmenting sequence ending at edge
 // last, which takes color c.
-func backtrack(via map[int32]searchNode, last, c int32) Sequence {
+func (s *Searcher) backtrack(last, c int32) Sequence {
 	var rev Sequence
 	rev = append(rev, Step{Edge: last, Color: c})
 	for cur := last; ; {
-		node := via[cur]
+		node := s.viaNode[cur]
 		if node.parentEdge < 0 {
 			break
 		}
@@ -164,21 +226,49 @@ func shortCircuit(st *forest.State, seq Sequence, withinPath func(int32) bool) S
 }
 
 // seqRadius returns the maximum hop distance from the start edge to any
-// sequence edge (Theorem 3.2's containment radius).
-func seqRadius(st *forest.State, seq Sequence) int {
+// sequence edge (Theorem 3.2's containment radius). The BFS runs on the
+// Searcher's scratch and stops as soon as every sequence endpoint has
+// been reached, so it never pays for the whole graph when the sequence
+// is local (the common case Theorem 3.2 guarantees).
+func (s *Searcher) seqRadius(seq Sequence) int {
 	if len(seq) <= 1 {
 		return 0
 	}
-	g := st.Graph()
-	e0 := g.Edge(seq[0].Edge)
-	dist := map[int32]int{}
-	g.BFS([]int32{e0.U, e0.V}, -1, func(v int32, d int) { dist[v] = d })
-	maxR := 0
-	for _, s := range seq[1:] {
-		e := g.Edge(s.Edge)
+	g := s.g
+	ep := s.nextEpoch()
+	need := 0
+	for _, step := range seq[1:] {
+		e := g.Edge(step.Edge)
 		for _, v := range [2]int32{e.U, e.V} {
-			if d, ok := dist[v]; ok && d > maxR {
+			if s.needed[v] != ep {
+				s.needed[v] = ep
+				need++
+			}
+		}
+	}
+	e0 := g.Edge(seq[0].Edge)
+	s.bfsQueue = s.bfsQueue[:0]
+	for _, src := range [2]int32{e0.U, e0.V} {
+		if s.seen[src] != ep {
+			s.seen[src] = ep
+			s.dist[src] = 0
+			s.bfsQueue = append(s.bfsQueue, src)
+		}
+	}
+	maxR := 0
+	for head := 0; head < len(s.bfsQueue) && need > 0; head++ {
+		v := s.bfsQueue[head]
+		if s.needed[v] == ep {
+			need--
+			if d := int(s.dist[v]); d > maxR {
 				maxR = d
+			}
+		}
+		for _, a := range g.Adj(v) {
+			if s.seen[a.To] != ep {
+				s.seen[a.To] = ep
+				s.dist[a.To] = s.dist[v] + 1
+				s.bfsQueue = append(s.bfsQueue, a.To)
 			}
 		}
 	}

@@ -33,14 +33,12 @@ func RunCutModDepth(st *forest.State, annulus []int32, inInner func(int32) bool,
 // rule standalone: it builds a fresh low-out-degree orientation, caps the
 // per-vertex load at alpha, and deletes with probability p.
 func RunCutSampled(g *graph.Graph, st *forest.State, annulus []int32, alpha int, p float64, src *rng.Source) []int32 {
-	outEdges := make([][]int32, g.N())
-	for id, e := range g.Edges() {
-		lo := e.U
-		if e.V < lo {
-			lo = e.V
-		}
-		outEdges[lo] = append(outEdges[lo], int32(id))
-	}
+	// Lower-endpoint orientation, grouped CSR-style: one shared backing
+	// array instead of a slice per vertex.
+	outEdges := g.GroupEdges(func(id int32) int32 {
+		e := g.Edge(id)
+		return min(e.U, e.V)
+	})
 	s := newSampleCutState(outEdges, alpha, p)
 	return s.cut(st, annulus, src)
 }

@@ -57,14 +57,34 @@ type Env struct {
 	V int32
 
 	deg int
+	out []Message // engine-owned reusable outgoing-mail buffer, len deg
 }
 
 // Deg returns the degree of the vertex (counting parallel edges), which
 // is also the number of ports and the length of recv.
 func (e *Env) Deg() int { return e.deg }
 
-// Broadcast returns an outgoing-mail slice that sends msg on every one
-// of deg ports.
+// Out returns the vertex's reusable outgoing-mail buffer: length Deg(),
+// engine-owned, all-nil when Step begins. Fill the ports to send on and
+// return it from Step — the engine re-nils it after delivery, so a
+// program using Out instead of allocating a fresh slice sends mail with
+// zero heap allocations per round. A program that writes to the buffer
+// but then does not return it (or returns a shortened prefix) must nil
+// the abandoned entries itself before its next use.
+func (e *Env) Out() []Message { return e.out }
+
+// Broadcast fills the vertex's Out buffer with msg on every port and
+// returns it: the zero-allocation form of the package-level Broadcast.
+func (e *Env) Broadcast(msg Message) []Message {
+	for i := range e.out {
+		e.out[i] = msg
+	}
+	return e.out
+}
+
+// Broadcast returns a freshly allocated outgoing-mail slice that sends
+// msg on every one of deg ports. Inside Step, prefer Env.Broadcast,
+// which reuses the engine's per-vertex buffer instead of allocating.
 func Broadcast(deg int, msg Message) []Message {
 	out := make([]Message, deg)
 	for i := range out {
@@ -112,11 +132,14 @@ type Engine struct {
 	// CSR mailboxes: the ports of vertex v are slots off[v]..off[v+1];
 	// rev[s] is the slot of the same edge at the other endpoint. inbox
 	// holds the messages delivered this round, outbox the ones being
-	// sent; they swap between rounds (double buffering).
-	off    []int
+	// sent; they swap between rounds (double buffering). off is the
+	// graph's own CSR offset array, shared, not rebuilt. outbuf backs the
+	// per-vertex Env.Out buffers, sliced by the same offsets.
+	off    []int32
 	rev    []int32
 	inbox  []Message
 	outbox []Message
+	outbuf []Message
 
 	trafficMu sync.Mutex
 	msgs      int64 // messages sent across the run
@@ -129,36 +152,42 @@ type Engine struct {
 // SetMode to override.
 func NewEngine(g *graph.Graph, factory func(v int32) Program) *Engine {
 	n := g.N()
+	off := g.Offsets()
+	slots := int(off[n]) // = 2M
 	e := &Engine{
-		g:     g,
-		progs: make([]Program, n),
-		envs:  make([]Env, n),
-		done:  make([]bool, n),
-		mode:  DefaultMode,
-		off:   make([]int, n+1),
+		g:      g,
+		progs:  make([]Program, n),
+		envs:   make([]Env, n),
+		done:   make([]bool, n),
+		mode:   DefaultMode,
+		off:    off,
+		rev:    make([]int32, slots),
+		inbox:  make([]Message, slots),
+		outbox: make([]Message, slots),
+		outbuf: make([]Message, slots),
 	}
 	for v := 0; v < n; v++ {
 		e.progs[v] = factory(int32(v))
-		e.envs[v] = Env{V: int32(v), deg: g.Degree(int32(v))}
-		e.off[v+1] = e.off[v] + g.Degree(int32(v))
+		// The out view is capped so a program appending past its port
+		// count fails fast instead of corrupting a neighbor's buffer.
+		e.envs[v] = Env{
+			V:   int32(v),
+			deg: int(off[v+1] - off[v]),
+			out: e.outbuf[off[v]:off[v+1]:off[v+1]],
+		}
 	}
-	slots := e.off[n] // = 2M
-	e.rev = make([]int32, slots)
-	e.inbox = make([]Message, slots)
-	e.outbox = make([]Message, slots)
 	first := make([]int32, g.M())
 	for i := range first {
 		first[i] = -1
 	}
-	for v := 0; v < n; v++ {
-		for p, a := range g.Adj(int32(v)) {
-			s := int32(e.off[v] + p)
-			if o := first[a.Edge]; o < 0 {
-				first[a.Edge] = s
-			} else {
-				e.rev[s] = o
-				e.rev[o] = s
-			}
+	// The flat arc array is already in slot order: arc s is port
+	// s-off[v] of its vertex v.
+	for s, a := range g.Arcs() {
+		if o := first[a.Edge]; o < 0 {
+			first[a.Edge] = int32(s)
+		} else {
+			e.rev[s] = o
+			e.rev[o] = int32(s)
 		}
 	}
 	return e
@@ -180,6 +209,11 @@ func (e *Engine) Bits() int64 { return e.bits }
 // (returning the number of rounds executed) or maxRounds rounds elapse
 // (returning maxRounds and an error wrapping ErrMaxRounds). An engine
 // over the empty graph halts immediately in 0 rounds.
+//
+// All per-run scratch — mailboxes, out buffers, worker results — is
+// allocated before the first round and reused by swap, so steady-state
+// rounds perform zero heap allocations (given programs that use Env.Out
+// and allocation-free messages; see the package benchmark).
 func (e *Engine) Run(maxRounds int) (int, error) {
 	n := len(e.progs)
 	if n == 0 {
@@ -192,17 +226,31 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 		}
 	}
 	bounds := e.shard(workers)
-	for round := 0; round < maxRounds; round++ {
-		allDone := true
-		if len(bounds) == 2 { // single worker: stay on this goroutine
-			allDone = e.stepRange(round, 0, n)
-		} else {
-			res := make([]bool, len(bounds)-1)
-			panics := make([]any, len(bounds)-1)
-			var wg sync.WaitGroup
-			for w := 0; w+1 < len(bounds); w++ {
-				wg.Add(1)
-				go func(w int) {
+	workers = len(bounds) - 1
+	if workers == 1 { // stay on the calling goroutine
+		for round := 0; round < maxRounds; round++ {
+			allDone := e.stepRange(round, 0, n)
+			e.inbox, e.outbox = e.outbox, e.inbox
+			if allDone {
+				return round + 1, nil
+			}
+		}
+		return maxRounds, e.maxRoundsError(maxRounds)
+	}
+	// Parallel: one persistent goroutine per shard, woken each round by
+	// an int send on its own channel and joined with a WaitGroup. The
+	// result and panic slots are preallocated, so a round costs two
+	// channel operations and one WaitGroup cycle per worker — no
+	// goroutine spawns, no closures, no heap allocations.
+	res := make([]bool, workers)
+	panics := make([]any, workers)
+	work := make([]chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		work[w] = make(chan int, 1)
+		go func(w int) {
+			for round := range work[w] {
+				func() {
 					defer wg.Done()
 					defer func() {
 						if r := recover(); r != nil {
@@ -210,34 +258,48 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 						}
 					}()
 					res[w] = e.stepRange(round, bounds[w], bounds[w+1])
-				}(w)
+				}()
 			}
-			wg.Wait()
+		}(w)
+	}
+	defer func() {
+		for _, c := range work {
+			close(c)
+		}
+	}()
+	for round := 0; round < maxRounds; round++ {
+		wg.Add(workers)
+		for _, c := range work {
+			c <- round
+		}
+		wg.Wait()
+		allDone := true
+		for w := 0; w < workers; w++ {
 			// Re-raise a worker panic on the calling goroutine, so a
 			// caller's recover sees it regardless of execution mode — an
 			// unrecovered panic in a worker would kill the whole process.
-			for _, p := range panics {
-				if p != nil {
-					panic(p)
-				}
+			if p := panics[w]; p != nil {
+				panic(p)
 			}
-			for _, d := range res {
-				allDone = allDone && d
-			}
+			allDone = allDone && res[w]
 		}
 		e.inbox, e.outbox = e.outbox, e.inbox
 		if allDone {
 			return round + 1, nil
 		}
 	}
+	return maxRounds, e.maxRoundsError(maxRounds)
+}
+
+func (e *Engine) maxRoundsError(maxRounds int) error {
 	running := 0
 	for _, d := range e.done {
 		if !d {
 			running++
 		}
 	}
-	return maxRounds, fmt.Errorf("dist: %d of %d programs still running after %d rounds: %w",
-		running, n, maxRounds, ErrMaxRounds)
+	return fmt.Errorf("dist: %d of %d programs still running after %d rounds: %w",
+		running, len(e.progs), maxRounds, ErrMaxRounds)
 }
 
 // shard partitions the vertex range into len(bounds)-1 contiguous slices
@@ -250,11 +312,11 @@ func (e *Engine) shard(workers int) []int {
 	}
 	bounds := make([]int, 0, workers+1)
 	bounds = append(bounds, 0)
-	total := e.off[n] + n // weight = degree + 1 so isolated vertices count
+	total := int(e.off[n]) + n // weight = degree + 1 so isolated vertices count
 	v := 0
 	for w := 1; w < workers; w++ {
 		target := total * w / workers
-		for v < n && e.off[v]+v < target {
+		for v < n && int(e.off[v])+v < target {
 			v++
 		}
 		bounds = append(bounds, v)
@@ -289,13 +351,18 @@ func (e *Engine) stepRange(round, lo, hi int) bool {
 			if m == nil {
 				continue
 			}
-			e.outbox[e.rev[e.off[v]+p]] = m
+			e.outbox[e.rev[int(e.off[v])+p]] = m
 			msgs++
 			if s, ok := m.(Sized); ok {
 				bits += int64(s.Bits())
 			} else {
 				bits += DefaultMessageBits
 			}
+		}
+		// If the program sent via its Env.Out buffer, re-nil it so the
+		// buffer is clean for the next round without a fresh allocation.
+		if len(out) > 0 && &out[0] == &env.out[0] {
+			clear(out)
 		}
 		e.done[v] = done
 		allDone = allDone && done

@@ -64,6 +64,7 @@ var Registry = []Runner{
 	{"lowerbound", "Proposition C.1: Omega(1/eps) diameter on the line multigraph", PropC1},
 	{"baseline", "Barenboim-Elkin baseline: (2+eps)a-FD rounds scaling", BaselineBE},
 	{"exact", "Gabow-Westermann exact arboricity ground truth", ExactGW},
+	{"decompose", "End-to-end decomposition hot path (rounds, msgs, traffic)", DecomposeE2E},
 }
 
 // Find returns the runner with the given name, or nil.

@@ -97,9 +97,10 @@ func Figure1(cfg Config) (*Table, error) {
 		}
 		palettes := fullPalettes(g.M(), k)
 		st := forest.New(g)
+		searcher := core.NewSearcher(st)
 		sumLen, maxLen, maxRad := 0, 0, 0
 		for id := int32(0); int(id) < g.M(); id++ {
-			seq, stats := core.FindAugmenting(st, palettes, id, nil, nil, 0)
+			seq, stats := searcher.FindAugmenting(palettes, id, nil, nil, 0)
 			if seq == nil {
 				return nil, fmt.Errorf("fig1: no augmenting sequence for edge %d", id)
 			}
@@ -145,9 +146,10 @@ func Figure2(cfg Config) (*Table, error) {
 	k := trueAlpha
 	palettes := fullPalettes(g.M(), k)
 	st := forest.New(g)
+	searcher := core.NewSearcher(st)
 	maxIters, worstFinal := 0, 0
 	for id := int32(0); int(id) < g.M(); id++ {
-		seq, stats := core.FindAugmenting(st, palettes, id, nil, nil, 0)
+		seq, stats := searcher.FindAugmenting(palettes, id, nil, nil, 0)
 		if seq == nil {
 			return nil, fmt.Errorf("fig2: no augmenting sequence for edge %d", id)
 		}
@@ -189,9 +191,10 @@ func Figure3(cfg Config) (*Table, error) {
 		g := gen.ForestUnion(n, alpha, cfg.Seed+3)
 		k := int(math.Ceil((1 + eps) * float64(alpha)))
 		st := forest.New(g)
+		searcher := core.NewSearcher(st)
 		palettes := fullPalettes(g.M(), k)
 		for id := int32(0); int(id) < g.M(); id++ {
-			seq, _ := core.FindAugmenting(st, palettes, id, nil, nil, 0)
+			seq, _ := searcher.FindAugmenting(palettes, id, nil, nil, 0)
 			if seq == nil {
 				return nil, fmt.Errorf("fig3: saturation failed")
 			}

@@ -10,19 +10,43 @@ import (
 )
 
 // State is a partial edge coloring of a graph with per-color adjacency.
+//
+// The query methods (PathInColor, ConnectedInColor, ComponentInColor,
+// RootedTreesInColor) share epoch-stamped scratch buffers, so a State is
+// not safe for concurrent use, and a `within`/`rootPref` callback must
+// not call back into query methods of the same State — a nested query
+// would restamp the scratch out from under the outer one. Callbacks
+// that only read Color/DegreeInColor or caller-owned state are fine
+// (every callback in this module is of that form).
 type State struct {
 	g      *graph.Graph
 	colors []int32
 	// adj[v] maps a color to the IDs of edges of that color incident to v.
 	adj []map[int32][]int32
+
+	// BFS scratch reused across every path/component/tree query, sized
+	// to N once at construction. mark[v] == epoch iff v is visited by
+	// the query in progress; bumping epoch invalidates all marks in
+	// O(1), so the queries themselves allocate only their results. The
+	// augmenting-sequence search calls PathInColor once per (edge,
+	// color) probe — with per-call maps this scratch was ~95% of the
+	// end-to-end decomposition's allocated bytes.
+	mark       []uint32
+	regionMark []uint32
+	parentEdge []int32
+	queue      []int32
+	epoch      uint32
 }
 
 // New returns an all-uncolored state over g.
 func New(g *graph.Graph) *State {
 	s := &State{
-		g:      g,
-		colors: make([]int32, g.M()),
-		adj:    make([]map[int32][]int32, g.N()),
+		g:          g,
+		colors:     make([]int32, g.M()),
+		adj:        make([]map[int32][]int32, g.N()),
+		mark:       make([]uint32, g.N()),
+		regionMark: make([]uint32, g.N()),
+		parentEdge: make([]int32, g.N()),
 	}
 	for i := range s.colors {
 		s.colors[i] = verify.Uncolored
@@ -31,6 +55,19 @@ func New(g *graph.Graph) *State {
 		s.adj[v] = make(map[int32][]int32)
 	}
 	return s
+}
+
+// nextEpoch starts a new scratch lifetime: every previous mark becomes
+// stale. On uint32 wraparound the mark arrays are rewritten once so no
+// ancient stamp can collide with a live epoch.
+func (s *State) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.mark)
+		clear(s.regionMark)
+		s.epoch = 1
+	}
+	return s.epoch
 }
 
 // FromColors returns a state initialized with the given coloring
@@ -118,57 +155,74 @@ func (s *State) PathInColor(c, u, v int32, within func(int32) bool) []int32 {
 	if u == v {
 		return []int32{}
 	}
-	parent := make(map[int32]int32) // vertex -> edge used to reach it
-	visited := map[int32]bool{u: true}
-	queue := []int32{u}
-	for head := 0; head < len(queue); head++ {
-		x := queue[head]
+	if !s.search(c, u, v, within) {
+		return nil
+	}
+	// Rebuild the path from the parent-edge stamps; only the result
+	// itself is allocated.
+	var path []int32
+	for cur := v; cur != u; {
+		pe := s.parentEdge[cur]
+		path = append(path, pe)
+		cur = s.g.Edge(pe).Other(cur)
+	}
+	return path
+}
+
+// search runs the monochromatic BFS from u, stamping parentEdge, and
+// reports whether v was reached. It allocates nothing beyond growing the
+// shared queue to the largest component seen so far.
+func (s *State) search(c, u, v int32, within func(int32) bool) bool {
+	ep := s.nextEpoch()
+	s.mark[u] = ep
+	s.queue = append(s.queue[:0], u)
+	for head := 0; head < len(s.queue); head++ {
+		x := s.queue[head]
 		for _, id := range s.adj[x][c] {
 			y := s.g.Edge(id).Other(x)
-			if visited[y] {
+			if s.mark[y] == ep {
 				continue
 			}
-			visited[y] = true
-			parent[y] = id
+			s.mark[y] = ep
+			s.parentEdge[y] = id
 			if y == v {
-				var path []int32
-				for cur := v; cur != u; {
-					pe := parent[cur]
-					path = append(path, pe)
-					cur = s.g.Edge(pe).Other(cur)
-				}
-				return path
+				return true
 			}
 			if within == nil || within(y) {
-				queue = append(queue, y)
+				s.queue = append(s.queue, y)
 			}
 		}
 	}
-	return nil
+	return false
 }
 
 // ConnectedInColor reports whether u and v are connected in color c,
-// searching only within the given region (nil = everywhere).
+// searching only within the given region (nil = everywhere). Unlike
+// PathInColor it does not materialize the path, so it is allocation-free.
 func (s *State) ConnectedInColor(c, u, v int32, within func(int32) bool) bool {
-	return s.PathInColor(c, u, v, within) != nil
+	if u == v {
+		return true
+	}
+	return s.search(c, u, v, within)
 }
 
 // ComponentInColor returns the vertices of the c-colored component
 // containing v (including v even if isolated in c).
 func (s *State) ComponentInColor(c, v int32) []int32 {
-	visited := map[int32]bool{v: true}
-	queue := []int32{v}
-	for head := 0; head < len(queue); head++ {
-		x := queue[head]
+	ep := s.nextEpoch()
+	s.mark[v] = ep
+	out := []int32{v}
+	for head := 0; head < len(out); head++ {
+		x := out[head]
 		for _, id := range s.adj[x][c] {
 			y := s.g.Edge(id).Other(x)
-			if !visited[y] {
-				visited[y] = true
-				queue = append(queue, y)
+			if s.mark[y] != ep {
+				s.mark[y] = ep
+				out = append(out, y)
 			}
 		}
 	}
-	return queue
+	return out
 }
 
 // Rooted describes one rooted monochromatic tree: Parent[i] is the parent
@@ -186,32 +240,34 @@ type Rooted struct {
 // first such vertex (in region order) becomes the root; otherwise the
 // first-encountered vertex does. Vertices outside region are ignored.
 func (s *State) RootedTreesInColor(c int32, region []int32, rootPref func(int32) bool) []Rooted {
-	inRegion := make(map[int32]bool, len(region))
+	// One epoch stamps both scratch arrays: regionMark gates membership,
+	// mark tracks visitation. The per-call maps this replaces dominated
+	// the CUT procedures' allocation profile.
+	ep := s.nextEpoch()
 	for _, v := range region {
-		inRegion[v] = true
+		s.regionMark[v] = ep
 	}
-	visited := make(map[int32]bool, len(region))
 	var trees []Rooted
 	// Two passes so preferred roots win: first start trees from preferred
 	// vertices, then from anything left.
 	for pass := 0; pass < 2; pass++ {
 		for _, v := range region {
-			if visited[v] || s.DegreeInColor(v, c) == 0 {
+			if s.mark[v] == ep || s.DegreeInColor(v, c) == 0 {
 				continue
 			}
 			if pass == 0 && (rootPref == nil || !rootPref(v)) {
 				continue
 			}
 			tr := Rooted{Verts: []int32{v}, Parent: []int32{-1}, Depth: []int32{0}}
-			visited[v] = true
+			s.mark[v] = ep
 			for head := 0; head < len(tr.Verts); head++ {
 				x := tr.Verts[head]
 				for _, id := range s.adj[x][c] {
 					y := s.g.Edge(id).Other(x)
-					if visited[y] || !inRegion[y] {
+					if s.mark[y] == ep || s.regionMark[y] != ep {
 						continue
 					}
-					visited[y] = true
+					s.mark[y] = ep
 					tr.Verts = append(tr.Verts, y)
 					tr.Parent = append(tr.Parent, id)
 					tr.Depth = append(tr.Depth, tr.Depth[head]+1)

@@ -39,10 +39,18 @@ type Arc struct {
 }
 
 // Graph is an immutable undirected multigraph.
+//
+// Adjacency is stored in CSR (compressed sparse row) form: all 2M arcs
+// live in one contiguous slice, grouped by source vertex, with
+// offsets[v]..offsets[v+1] delimiting the arcs of v. Every Adj call is a
+// subslice view into that array — no per-vertex slice headers, no
+// pointer chasing between vertices — so whole-graph scans stream through
+// the cache and large graphs cost exactly two allocations of adjacency.
 type Graph struct {
-	n     int
-	edges []Edge
-	adj   [][]Arc
+	n       int
+	edges   []Edge
+	arcs    []Arc   // len 2M, grouped by vertex, edge-ID order within a vertex
+	offsets []int32 // len n+1; arcs of v are arcs[offsets[v]:offsets[v+1]]
 }
 
 // ErrSelfLoop is returned by New when the edge list contains a self-loop.
@@ -53,12 +61,12 @@ var ErrSelfLoop = errors.New("graph: self-loops are not allowed")
 // vertex outside [0, n) or is a self-loop.
 func New(n int, edges []Edge) (*Graph, error) {
 	g := &Graph{
-		n:     n,
-		edges: make([]Edge, len(edges)),
-		adj:   make([][]Arc, n),
+		n:       n,
+		edges:   make([]Edge, len(edges)),
+		arcs:    make([]Arc, 2*len(edges)),
+		offsets: make([]int32, n+1),
 	}
 	copy(g.edges, edges)
-	deg := make([]int32, n)
 	for _, e := range g.edges {
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
 			return nil, fmt.Errorf("graph: edge %v out of range for n=%d", e, n)
@@ -66,15 +74,22 @@ func New(n int, edges []Edge) (*Graph, error) {
 		if e.U == e.V {
 			return nil, ErrSelfLoop
 		}
-		deg[e.U]++
-		deg[e.V]++
+		g.offsets[e.U+1]++
+		g.offsets[e.V+1]++
 	}
 	for v := 0; v < n; v++ {
-		g.adj[v] = make([]Arc, 0, deg[v])
+		g.offsets[v+1] += g.offsets[v]
 	}
+	// Counting-sort fill: cursor[v] is the next free slot of v. Iterating
+	// edges in ID order reproduces the append order of the old
+	// slice-of-slices layout, so port numbering is unchanged.
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Arc{Edge: int32(id), To: e.V})
-		g.adj[e.V] = append(g.adj[e.V], Arc{Edge: int32(id), To: e.U})
+		g.arcs[cursor[e.U]] = Arc{Edge: int32(id), To: e.V}
+		cursor[e.U]++
+		g.arcs[cursor[e.V]] = Arc{Edge: int32(id), To: e.U}
+		cursor[e.V]++
 	}
 	return g, nil
 }
@@ -101,17 +116,66 @@ func (g *Graph) Edge(id int32) Edge { return g.edges[id] }
 // Edges returns the underlying edge slice. Callers must not modify it.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// Adj returns the adjacency list of v. Callers must not modify it.
-func (g *Graph) Adj(v int32) []Arc { return g.adj[v] }
+// Adj returns the adjacency list of v: a view into the shared CSR arc
+// array. Callers must not modify it.
+func (g *Graph) Adj(v int32) []Arc { return g.arcs[g.offsets[v]:g.offsets[v+1]] }
 
 // Degree returns the degree of v (counting parallel edges).
-func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int32) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// Offsets returns the CSR offset array: len N+1, with the arcs of v
+// occupying Arcs()[Offsets()[v]:Offsets()[v+1]]. Offsets()[N] == 2*M.
+// Callers must not modify it. Consumers that index per-port state (the
+// dist engine's mailboxes, flat per-vertex scratch) can share this array
+// instead of rebuilding their own prefix sums.
+func (g *Graph) Offsets() []int32 { return g.offsets }
+
+// Arcs returns the flat CSR arc array, grouped by source vertex in
+// adjacency order. Callers must not modify it.
+func (g *Graph) Arcs() []Arc { return g.arcs }
+
+// Footprint returns the approximate heap bytes held by the graph's edge
+// list and CSR adjacency, for cache accounting.
+func (g *Graph) Footprint() int64 {
+	return int64(len(g.edges))*8 + int64(len(g.arcs))*8 + int64(len(g.offsets))*4
+}
+
+// GroupEdges buckets every edge ID by the vertex key(id) returns (which
+// must be in [0, N)), as per-vertex views into one flat CSR-style
+// backing array: a handful of allocations total regardless of N, with
+// edge-ID order preserved within each bucket. It is the shared kernel
+// behind the per-vertex out-edge indexes (orientation tails,
+// lower-endpoint orientations, ...).
+func (g *Graph) GroupEdges(key func(id int32) int32) [][]int32 {
+	n := g.n
+	m := len(g.edges)
+	off := make([]int32, n+1)
+	for id := 0; id < m; id++ {
+		off[key(int32(id))+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	flat := make([]int32, m)
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for id := 0; id < m; id++ {
+		k := key(int32(id))
+		flat[cursor[k]] = int32(id)
+		cursor[k]++
+	}
+	out := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		out[v] = flat[off[v]:off[v+1]:off[v+1]]
+	}
+	return out
+}
 
 // MaxDegree returns the maximum degree Δ of the graph (0 for empty graphs).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
+	for v := 0; v < g.n; v++ {
+		if d := int(g.offsets[v+1] - g.offsets[v]); d > max {
 			max = d
 		}
 	}
@@ -144,20 +208,38 @@ func (g *Graph) Density() float64 {
 	return float64(len(g.edges)) / float64(g.n-1)
 }
 
+// BFSScratch holds the reusable buffers of a breadth-first search. The
+// zero value is ready to use; a scratch passed to repeated BFSWith calls
+// (possibly over different graphs) amortizes the per-search allocations
+// away. A scratch must not be shared between concurrent searches.
+type BFSScratch struct {
+	dist  []int32
+	queue []int32
+}
+
 // BFS runs a breadth-first search from each source, visiting every vertex
 // reachable within maxDist hops (maxDist < 0 means unbounded). It calls
 // visit(v, dist) once per reached vertex, in nondecreasing order of dist.
 // The sources themselves are visited at distance 0.
 func (g *Graph) BFS(sources []int32, maxDist int, visit func(v int32, dist int)) {
-	dist := make([]int32, g.n)
+	g.BFSWith(&BFSScratch{}, sources, maxDist, visit)
+}
+
+// BFSWith is BFS with caller-owned scratch buffers, for hot loops that
+// search repeatedly and must not reallocate the frontier each time.
+func (g *Graph) BFSWith(s *BFSScratch, sources []int32, maxDist int, visit func(v int32, dist int)) {
+	if cap(s.dist) < g.n {
+		s.dist = make([]int32, g.n)
+	}
+	dist := s.dist[:g.n]
 	for i := range dist {
 		dist[i] = -1
 	}
-	queue := make([]int32, 0, len(sources))
-	for _, s := range sources {
-		if dist[s] == -1 {
-			dist[s] = 0
-			queue = append(queue, s)
+	queue := s.queue[:0]
+	for _, src := range sources {
+		if dist[src] == -1 {
+			dist[src] = 0
+			queue = append(queue, src)
 		}
 	}
 	for head := 0; head < len(queue); head++ {
@@ -166,13 +248,14 @@ func (g *Graph) BFS(sources []int32, maxDist int, visit func(v int32, dist int))
 		if maxDist >= 0 && int(dist[v]) >= maxDist {
 			continue
 		}
-		for _, a := range g.adj[v] {
+		for _, a := range g.Adj(v) {
 			if dist[a.To] == -1 {
 				dist[a.To] = dist[v] + 1
 				queue = append(queue, a.To)
 			}
 		}
 	}
+	s.queue = queue
 }
 
 // Ball returns the set of vertices within distance r of any source,

@@ -65,7 +65,9 @@ func (p *peelProg) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, boo
 		p.class = int32(env.Round)
 		// The engine delivers messages returned alongside done=true, so
 		// the removal notification and the halt fit in the same round.
-		return dist.Broadcast(env.Deg(), peelMsg{}), true
+		// Env.Broadcast reuses the engine's out buffer, and peelMsg is a
+		// zero-size type, so the notification allocates nothing.
+		return env.Broadcast(peelMsg{}), true
 	}
 	return nil, false
 }
@@ -123,13 +125,11 @@ func AcyclicOrientation(g *graph.Graph, r *Result, cost *dist.Cost) *verify.Orie
 }
 
 // OutEdges returns, for each vertex, the IDs of its out-edges under o.
+// The per-vertex slices are views into one shared CSR-style backing
+// array (grouped by tail, edge-ID order within a vertex), so the whole
+// index costs a handful of allocations regardless of N.
 func OutEdges(g *graph.Graph, o *verify.Orientation) [][]int32 {
-	out := make([][]int32, g.N())
-	for id := range g.Edges() {
-		tail := o.Tail(g, int32(id))
-		out[tail] = append(out[tail], int32(id))
-	}
-	return out
+	return g.GroupEdges(func(id int32) int32 { return o.Tail(g, id) })
 }
 
 // ForestDecomposition labels the out-edges of every vertex with distinct

@@ -162,8 +162,8 @@ type Job struct {
 
 // JobSnapshot is a point-in-time JSON view of a job.
 type JobSnapshot struct {
-	ID    string  `json:"id"`
-	Spec  JobSpec `json:"spec"`
+	ID    string   `json:"id"`
+	Spec  JobSpec  `json:"spec"`
 	State JobState `json:"state"`
 	// Cached reports that the result was served from the result cache
 	// without running the algorithm.

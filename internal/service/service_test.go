@@ -234,11 +234,11 @@ func TestSubmitValidation(t *testing.T) {
 	ok := nwforest.Options{Alpha: 2, Eps: 0.5, Seed: 1}
 	bad := []JobSpec{
 		{GraphID: id, Algorithm: "frobnicate", Options: ok},
-		{GraphID: id, Algorithm: "decompose"},                                             // alpha and eps missing
-		{GraphID: id, Algorithm: "decompose", Options: nwforest.Options{Alpha: 2}},        // eps missing
-		{GraphID: id, Algorithm: "decompose", Options: nwforest.Options{Eps: 0.5}},        // alpha missing
-		{GraphID: id, Algorithm: "stars-list24", Options: ok},                             // alphaStar missing
-		{GraphID: id, Algorithm: "be", Options: nwforest.Options{Eps: 0.5}},               // no bound at all
+		{GraphID: id, Algorithm: "decompose"},                                      // alpha and eps missing
+		{GraphID: id, Algorithm: "decompose", Options: nwforest.Options{Alpha: 2}}, // eps missing
+		{GraphID: id, Algorithm: "decompose", Options: nwforest.Options{Eps: 0.5}}, // alpha missing
+		{GraphID: id, Algorithm: "stars-list24", Options: ok},                      // alphaStar missing
+		{GraphID: id, Algorithm: "be", Options: nwforest.Options{Eps: 0.5}},        // no bound at all
 		{GraphID: id, Algorithm: "decompose", Options: ok, AlphaStar: -1},
 		{GraphID: id, Algorithm: "list", Options: ok, PaletteSize: -1},
 		// Oversized parameters would commission giant allocations.

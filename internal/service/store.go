@@ -30,8 +30,20 @@ type Store struct {
 	uploadOrder    []string // upload-backed IDs, oldest first
 	uploadBytes    int64
 	maxSourceBytes int64
+	warmBytes      int64 // Footprint sum of the warm parsed graphs
 
 	hits, misses, evictions, reparses, sourceEvictions int64
+}
+
+// warmPut warms a parsed graph, keeping warmBytes in sync. Must be
+// called with s.mu held. A re-put of an already-warm ID only refreshes
+// recency: the footprint is identical for the same content hash.
+func (s *Store) warmPut(id string, g *graph.Graph) {
+	if _, ok := s.warm.get(id); ok {
+		return
+	}
+	s.warm.put(id, g)
+	s.warmBytes += g.Footprint()
 }
 
 // graphSource is where a stored graph's bytes live.
@@ -71,6 +83,9 @@ type StoreStats struct {
 	// retention budget.
 	RetainedBytes   int64 `json:"retainedBytes"`
 	SourceEvictions int64 `json:"sourceEvictions"`
+	// WarmBytes approximates the heap held by warm parsed graphs (edge
+	// list + CSR adjacency, per graph.Footprint).
+	WarmBytes int64 `json:"warmBytes"`
 }
 
 // DefaultMaxSourceBytes is the upload-retention budget NewStore applies
@@ -85,7 +100,10 @@ func NewStore(capacity int, maxSourceBytes int64) *Store {
 		maxSourceBytes = DefaultMaxSourceBytes
 	}
 	s := &Store{sources: make(map[string]*graphSource), maxSourceBytes: maxSourceBytes}
-	s.warm = newLRU[string, *graph.Graph](capacity, func(string, *graph.Graph) { s.evictions++ })
+	s.warm = newLRU[string, *graph.Graph](capacity, func(_ string, g *graph.Graph) {
+		s.evictions++
+		s.warmBytes -= g.Footprint()
+	})
 	return s
 }
 
@@ -151,7 +169,7 @@ func (s *Store) add(data []byte, f graph.Format, path string) (GraphInfo, error)
 		return existing.info, nil
 	}
 	s.sources[id] = src
-	s.warm.put(id, g)
+	s.warmPut(id, g)
 	if path == "" {
 		s.uploadOrder = append(s.uploadOrder, id)
 		s.uploadBytes += int64(len(data))
@@ -167,6 +185,9 @@ func (s *Store) add(data []byte, f graph.Format, path string) (GraphInfo, error)
 			}
 			s.uploadBytes -= int64(len(old.data))
 			delete(s.sources, oldest)
+			if g, ok := s.warm.get(oldest); ok {
+				s.warmBytes -= g.Footprint()
+			}
 			s.warm.remove(oldest)
 			s.sourceEvictions++
 		}
@@ -237,7 +258,7 @@ func (s *Store) Get(id string) (*graph.Graph, error) {
 	// may have dropped this graph, and warming an unreachable entry would
 	// pin it in the LRU. The caller still gets g either way.
 	if _, still := s.sources[id]; still {
-		s.warm.put(id, g)
+		s.warmPut(id, g)
 	}
 	s.mu.Unlock()
 	return g, nil
@@ -269,6 +290,7 @@ func (s *Store) Stats() StoreStats {
 		Reparses:        s.reparses,
 		RetainedBytes:   s.uploadBytes,
 		SourceEvictions: s.sourceEvictions,
+		WarmBytes:       s.warmBytes,
 	}
 }
 
