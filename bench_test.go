@@ -78,6 +78,12 @@ func BenchmarkBaselineBE(b *testing.B) { runExperiment(b, "baseline") }
 // BenchmarkExactGW regenerates the Gabow-Westermann exact ground truth.
 func BenchmarkExactGW(b *testing.B) { runExperiment(b, "exact") }
 
+// BenchmarkDynamicChurn runs the dynamic-graph workload: a maintained
+// forest decomposition under an insert/delete churn stream, reporting
+// the repair-ladder counters and the measured speedup over per-mutation
+// full rebuilds (see internal/experiments.DynamicChurn).
+func BenchmarkDynamicChurn(b *testing.B) { runExperiment(b, "dynamic") }
+
 // BenchmarkDecompose is the end-to-end hot path: one full
 // (1+eps)a-forest decomposition of a 4-tree multigraph union through the
 // public API, the same call the nwserve workers execute per job.

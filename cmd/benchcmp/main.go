@@ -8,9 +8,15 @@
 // across different hardware is noise, not signal; the gate reports the
 // skip explicitly so the log shows what was and wasn't checked.
 //
+// Besides baseline comparison, -floors imposes absolute minimums on the
+// new run's experiment metrics ("exp.metric=value", comma-separated) —
+// e.g. -floors dynamic.speedup=5 fails the gate if incremental repair
+// ever drops below 5x the per-mutation rebuild cost, regardless of what
+// the baseline recorded.
+//
 // Usage:
 //
-//	benchcmp [-threshold 0.10] [-force-ns] baseline.json new.json
+//	benchcmp [-threshold 0.10] [-force-ns] [-floors exp.metric=v,...] baseline.json new.json
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // Record mirrors nwbench's BenchRecord.
@@ -44,7 +52,12 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression before failing")
 	nsThreshold := flag.Float64("ns-threshold", -1, "separate threshold for ns/op (-1 = same as -threshold); CI uses a loose one because shared-runner wall time is noisy even on nominally identical CPUs")
 	forceNS := flag.Bool("force-ns", false, "gate ns/op even when the CPU models differ")
+	floorSpec := flag.String("floors", "", "absolute metric minimums for the new run, as exp.metric=value[,...]")
 	flag.Parse()
+	floors, err := parseFloors(*floorSpec)
+	if err != nil {
+		fatal(err)
+	}
 	if *nsThreshold < 0 {
 		*nsThreshold = *threshold
 	}
@@ -92,6 +105,7 @@ func main() {
 	for name := range curByName {
 		fmt.Printf("note %-12s new experiment, no baseline yet\n", name)
 	}
+	failures += checkFloors(cur, floors)
 	if failures > 0 {
 		fmt.Printf("benchcmp: %d regression(s) beyond the threshold\n", failures)
 		os.Exit(1)
@@ -115,6 +129,64 @@ func compare(name, metric string, old, now int64, threshold float64, absSlack in
 	}
 	fmt.Printf("ok   %-12s %-9s %12d -> %12d (%+.1f%%)\n", name, metric, old, now, pct(old, now))
 	return 0
+}
+
+// floor is one -floors entry: experiment exp's metric must be >= min in
+// the new run.
+type floor struct {
+	exp, metric string
+	min         float64
+}
+
+func parseFloors(spec string) ([]floor, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []floor
+	for _, part := range strings.Split(spec, ",") {
+		key, val, okEq := strings.Cut(part, "=")
+		exp, metric, okDot := strings.Cut(key, ".")
+		min, err := strconv.ParseFloat(val, 64)
+		if !okEq || !okDot || exp == "" || metric == "" || err != nil {
+			return nil, fmt.Errorf("bad -floors entry %q (want exp.metric=value)", part)
+		}
+		out = append(out, floor{exp: exp, metric: metric, min: min})
+	}
+	return out, nil
+}
+
+// checkFloors enforces the -floors minimums against the new run. A
+// missing experiment or metric fails too: a floor that silently stops
+// being measured is not a passing floor.
+func checkFloors(cur *File, floors []floor) int {
+	failures := 0
+	for _, f := range floors {
+		var rec *Record
+		for i := range cur.Experiments {
+			if cur.Experiments[i].Name == f.exp {
+				rec = &cur.Experiments[i]
+				break
+			}
+		}
+		if rec == nil {
+			fmt.Printf("FAIL %-12s floor %s >= %g: experiment missing from new run\n", f.exp, f.metric, f.min)
+			failures++
+			continue
+		}
+		got, ok := rec.Metrics[f.metric]
+		if !ok {
+			fmt.Printf("FAIL %-12s floor %s >= %g: metric not reported\n", f.exp, f.metric, f.min)
+			failures++
+			continue
+		}
+		if got < f.min {
+			fmt.Printf("FAIL %-12s %-9s %12.3g below floor %g\n", f.exp, f.metric, got, f.min)
+			failures++
+			continue
+		}
+		fmt.Printf("ok   %-12s %-9s %12.3g >= floor %g\n", f.exp, f.metric, got, f.min)
+	}
+	return failures
 }
 
 func pct(old, now int64) float64 {

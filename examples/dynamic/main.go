@@ -1,0 +1,84 @@
+// Dynamic-graph example: maintaining a forest decomposition of a
+// changing network.
+//
+// A link-state topology is never frozen: links come and go as hardware
+// fails and capacity is added. Recomputing the (1+eps)*alpha forest
+// decomposition from scratch on every change is the wrong shape for a
+// control plane; this example keeps a decomposition valid under a
+// stream of edge insertions and deletions by local repair
+// (nwforest.Maintain), then shows the raw mutable overlay
+// (nwforest.NewDynamicGraph) with its Freeze compaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nwforest"
+	"nwforest/internal/gen"
+	"nwforest/internal/rng"
+)
+
+func main() {
+	// A mesh with known arboricity 3, decomposed once, cold.
+	g := gen.ForestUnion(500, 3, 21)
+	opts := nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 21}
+	d, err := nwforest.Decompose(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial: n=%d m=%d %s\n", g.N(), g.M(), d)
+
+	// Maintain it under 300 mutations: 2 links added per link removed.
+	m, err := nwforest.Maintain(g, d, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(99)
+	for i := 0; i < 300; i++ {
+		if r.Intn(3) < 2 {
+			u, v := int32(r.Intn(g.N())), int32(r.Intn(g.N()))
+			if u == v {
+				continue
+			}
+			if _, err := m.InsertEdge(u, v); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			// Pick any live edge; IDs may have been renumbered by a
+			// compaction, so sample from the current ID space.
+			id := int32(r.Intn(m.Graph().NumIDs()))
+			if !m.Graph().Live(id) {
+				continue
+			}
+			if err := m.DeleteEdge(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Result compacts the overlay and re-verifies before returning.
+	final, colors, k, err := m.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nwforest.Verify(final, colors, k); err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("after churn: m=%d forests=%d (verified)\n", final.M(), k)
+	fmt.Printf("repairs: %d fast, %d augmenting, %d new colors, %d rebuilds, %d compactions\n",
+		st.FastRepairs, st.AugmentRepairs, st.ExtraColors, st.Rebuilds, st.Compactions)
+	fmt.Printf("amortized cost: %d LOCAL rounds over %d mutations\n",
+		m.Cost().Rounds(), st.Inserts+st.Deletes)
+
+	// The overlay on its own: insert edges, compact, keep using new IDs.
+	dg := nwforest.NewDynamicGraph(final)
+	id, err := dg.InsertEdge(0, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noverlay: inserted edge %d, delta fraction %.4f\n", id, dg.DeltaFraction())
+	remap := dg.Freeze() // compaction renumbers: map IDs you hold
+	fmt.Printf("after Freeze: edge %d -> %d, m=%d (pure CSR again)\n", id, remap[id], dg.Base().M())
+}

@@ -36,6 +36,9 @@ func main() {
 	for id, c := range d.Colors {
 		fmt.Printf("  edge %d (%d-%d) -> forest %d\n", id, edges[id][0], edges[id][1], c)
 	}
+	for _, p := range d.Phases {
+		fmt.Printf("  %-28s %d rounds, %d msgs, %d bits\n", p.Name, p.Rounds, p.Messages, p.Bits)
+	}
 
 	// Always verifiable:
 	if err := nwforest.Verify(g, d.Colors, d.NumForests); err != nil {

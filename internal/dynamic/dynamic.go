@@ -1,0 +1,202 @@
+// Package dynamic adds a mutable edge-update layer on top of the frozen
+// CSR substrate of internal/graph: a Graph is a frozen base plus a delta
+// of inserted and deleted edges, compacted back to pure CSR by Freeze,
+// and a Maintainer keeps a forest decomposition valid under
+// InsertEdge/DeleteEdge by repairing locally instead of recomputing from
+// scratch — the "repair, don't rebuild" shape that turns the one-shot
+// decomposition pipeline into a service for streamed edge updates.
+package dynamic
+
+import (
+	"fmt"
+
+	"nwforest/internal/graph"
+)
+
+// Graph is a mutable undirected multigraph: an immutable CSR base
+// (graph.Graph) overlaid with a delta of inserted edges and a deletion
+// mask. Reads see the live graph (base minus deletions plus insertions);
+// mutation cost is O(1) per edge, independent of the base size.
+//
+// Edge IDs are dense over the overlay: base edges keep their base IDs
+// [0, base.M()), inserted edges take base.M(), base.M()+1, ... in
+// insertion order. IDs are stable until Freeze, which compacts the live
+// edges back into a fresh CSR base and renumbers them; the remap Freeze
+// returns is the only bridge across a compaction, so callers holding
+// edge IDs must apply it (or stop using the old IDs).
+//
+// The canonical live order — surviving base edges in base-ID order,
+// then surviving inserted edges in insertion order — is preserved by
+// every Freeze, so a Graph that went through any interleaving of
+// insertions, deletions and compactions is indistinguishable from
+// graph.New over its live edge list, including CSR port order. The
+// property tests in this package pin that equivalence down.
+//
+// A Graph is not safe for concurrent use.
+type Graph struct {
+	base     *graph.Graph
+	delta    []graph.Edge  // inserted edges; ID = base.M() + index
+	deltaAdj [][]graph.Arc // arcs of inserted edges, indexed by vertex
+	deleted  []bool        // by edge ID over [0, NumIDs())
+	dead     int           // number of true entries in deleted
+}
+
+// New returns a mutable overlay over base. The base graph itself is
+// never modified; Freeze replaces the overlay's reference with a fresh
+// compacted graph.
+func New(base *graph.Graph) *Graph {
+	return &Graph{
+		base:     base,
+		deltaAdj: make([][]graph.Arc, base.N()),
+		deleted:  make([]bool, base.M()),
+	}
+}
+
+// N returns the number of vertices (fixed for the Graph's lifetime).
+func (dg *Graph) N() int { return dg.base.N() }
+
+// M returns the number of live edges.
+func (dg *Graph) M() int { return dg.base.M() + len(dg.delta) - dg.dead }
+
+// NumIDs returns the size of the current edge-ID space: every live edge
+// has an ID in [0, NumIDs()), but some IDs in that range may be deleted
+// (check Live). Freeze shrinks the space back to M().
+func (dg *Graph) NumIDs() int { return dg.base.M() + len(dg.delta) }
+
+// Base returns the frozen CSR base. Immediately after Freeze it is the
+// whole live graph; between compactions it lacks the delta.
+func (dg *Graph) Base() *graph.Graph { return dg.base }
+
+// Live reports whether id names a live (non-deleted) edge.
+func (dg *Graph) Live(id int32) bool {
+	return id >= 0 && int(id) < dg.NumIDs() && !dg.deleted[id]
+}
+
+// Edge returns the endpoints of edge id (which may be deleted).
+func (dg *Graph) Edge(id int32) graph.Edge {
+	if int(id) < dg.base.M() {
+		return dg.base.Edge(id)
+	}
+	return dg.delta[int(id)-dg.base.M()]
+}
+
+// InsertEdge adds an undirected edge between u and v and returns its ID.
+// Parallel edges are allowed; self-loops and out-of-range endpoints are
+// rejected.
+func (dg *Graph) InsertEdge(u, v int32) (int32, error) {
+	n := dg.base.N()
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		return -1, fmt.Errorf("dynamic: edge %d-%d out of range for n=%d", u, v, n)
+	}
+	if u == v {
+		return -1, graph.ErrSelfLoop
+	}
+	id := int32(dg.NumIDs())
+	dg.delta = append(dg.delta, graph.Edge{U: u, V: v})
+	dg.deltaAdj[u] = append(dg.deltaAdj[u], graph.Arc{Edge: id, To: v})
+	dg.deltaAdj[v] = append(dg.deltaAdj[v], graph.Arc{Edge: id, To: u})
+	dg.deleted = append(dg.deleted, false)
+	return id, nil
+}
+
+// DeleteEdge removes the live edge id. Deleting an inserted edge is
+// allowed; its arcs are masked until the next Freeze drops them.
+func (dg *Graph) DeleteEdge(id int32) error {
+	if !dg.Live(id) {
+		return fmt.Errorf("dynamic: edge %d is not a live edge", id)
+	}
+	dg.deleted[id] = true
+	dg.dead++
+	return nil
+}
+
+// AppendAdj appends the live arcs of v to buf and returns it, in the
+// canonical order: base arcs (base port order, deletions skipped), then
+// inserted arcs in insertion order. It allocates only if buf lacks
+// capacity.
+func (dg *Graph) AppendAdj(v int32, buf []graph.Arc) []graph.Arc {
+	for _, a := range dg.base.Adj(v) {
+		if !dg.deleted[a.Edge] {
+			buf = append(buf, a)
+		}
+	}
+	for _, a := range dg.deltaAdj[v] {
+		if !dg.deleted[a.Edge] {
+			buf = append(buf, a)
+		}
+	}
+	return buf
+}
+
+// Degree returns the live degree of v (counting parallel edges).
+func (dg *Graph) Degree(v int32) int {
+	d := 0
+	for _, a := range dg.base.Adj(v) {
+		if !dg.deleted[a.Edge] {
+			d++
+		}
+	}
+	for _, a := range dg.deltaAdj[v] {
+		if !dg.deleted[a.Edge] {
+			d++
+		}
+	}
+	return d
+}
+
+// DeltaFraction returns the overlay's drift from its base: the number of
+// insertions plus deletions since the last Freeze, relative to the live
+// edge count. Scans degrade linearly with drift (every deleted base arc
+// is still walked and skipped), so callers compact once this exceeds
+// their tolerance; see NeedsFreeze.
+func (dg *Graph) DeltaFraction() float64 {
+	m := dg.M()
+	if m == 0 {
+		return float64(len(dg.delta) + dg.dead)
+	}
+	return float64(len(dg.delta)+dg.dead) / float64(m)
+}
+
+// NeedsFreeze reports whether the delta has drifted beyond the given
+// fraction of the live edge count (<= 0 selects DefaultFreezeFraction).
+func (dg *Graph) NeedsFreeze(fraction float64) bool {
+	if fraction <= 0 {
+		fraction = DefaultFreezeFraction
+	}
+	return len(dg.delta)+dg.dead > 0 && dg.DeltaFraction() > fraction
+}
+
+// DefaultFreezeFraction is the delta fraction beyond which the
+// Maintainer (and NeedsFreeze callers passing <= 0) compacts the overlay
+// back to CSR.
+const DefaultFreezeFraction = 0.25
+
+// Freeze compacts the overlay: live edges are renumbered into a fresh
+// CSR base in canonical order and the delta is reset. It returns the
+// remap from the old ID space to the new one (remap[oldID] == -1 for
+// deleted edges); every previously held edge ID is invalid until mapped
+// through it.
+func (dg *Graph) Freeze() []int32 {
+	total := dg.NumIDs()
+	remap := make([]int32, total)
+	live := make([]graph.Edge, 0, dg.M())
+	for id := 0; id < total; id++ {
+		if dg.deleted[id] {
+			remap[id] = -1
+			continue
+		}
+		remap[id] = int32(len(live))
+		live = append(live, dg.Edge(int32(id)))
+	}
+	// Inserted endpoints are range-checked at InsertEdge and base edges
+	// were valid in the old base, so MustNew cannot fail here.
+	dg.base = graph.MustNew(dg.base.N(), live)
+	for _, e := range dg.delta {
+		dg.deltaAdj[e.U] = nil
+		dg.deltaAdj[e.V] = nil
+	}
+	dg.delta = nil
+	dg.deleted = make([]bool, len(live))
+	dg.dead = 0
+	return remap
+}

@@ -1,0 +1,220 @@
+package dynamic
+
+import (
+	"testing"
+
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+	"nwforest/internal/rng"
+)
+
+// refModel mirrors a Graph with the dumbest possible implementation: a
+// plain slice of live edges in canonical order, rebuilt from scratch on
+// every op. Equivalence against it is the package's core property.
+type refModel struct {
+	n    int
+	live []graph.Edge // canonical order
+	ids  []int32      // ids[i] is the current overlay ID of live[i]
+}
+
+func (r *refModel) insert(u, v, id int32) {
+	r.live = append(r.live, graph.Edge{U: u, V: v})
+	r.ids = append(r.ids, id)
+}
+
+func (r *refModel) delete(id int32) {
+	for i, x := range r.ids {
+		if x == id {
+			r.live = append(r.live[:i], r.live[i+1:]...)
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *refModel) remap(remap []int32) {
+	for i := range r.ids {
+		r.ids[i] = remap[r.ids[i]]
+	}
+}
+
+// assertEquivalent freezes dg and checks it is indistinguishable from
+// graph.New over the reference's live edge list: same edges, same CSR
+// arcs (which pins down Adj port order for every vertex).
+func assertEquivalent(t *testing.T, dg *Graph, ref *refModel) {
+	t.Helper()
+	remap := dg.Freeze()
+	ref.remap(remap)
+	got := dg.Base()
+	want := graph.MustNew(ref.n, ref.live)
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("frozen graph n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for id := int32(0); int(id) < want.M(); id++ {
+		if got.Edge(id) != want.Edge(id) {
+			t.Fatalf("edge %d = %v, want %v", id, got.Edge(id), want.Edge(id))
+		}
+	}
+	ga, wa := got.Arcs(), want.Arcs()
+	for i := range wa {
+		if ga[i] != wa[i] {
+			t.Fatalf("arc %d = %v, want %v (port order diverged)", i, ga[i], wa[i])
+		}
+	}
+}
+
+// TestRandomOpsEquivalence drives random insert/delete/freeze sequences
+// against the reference model and checks CSR equivalence after every
+// compaction.
+func TestRandomOpsEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		r := rng.New(seed)
+		base := gen.Gnm(40, 80, seed)
+		dg := New(base)
+		ref := &refModel{n: base.N()}
+		for id, e := range base.Edges() {
+			ref.insert(e.U, e.V, int32(id))
+		}
+		for op := 0; op < 400; op++ {
+			switch k := r.Intn(10); {
+			case k < 5: // insert
+				u := int32(r.Intn(base.N()))
+				v := int32(r.Intn(base.N()))
+				if u == v {
+					continue
+				}
+				id, err := dg.InsertEdge(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.insert(u, v, id)
+			case k < 9: // delete a random live edge
+				if dg.M() == 0 {
+					continue
+				}
+				id := int32(r.Intn(dg.NumIDs()))
+				if !dg.Live(id) {
+					continue
+				}
+				if err := dg.DeleteEdge(id); err != nil {
+					t.Fatal(err)
+				}
+				ref.delete(id)
+			default: // freeze mid-stream
+				ref.remap(dg.Freeze())
+			}
+			if dg.M() != len(ref.live) {
+				t.Fatalf("op %d: M() = %d, want %d", op, dg.M(), len(ref.live))
+			}
+		}
+		assertEquivalent(t, dg, ref)
+	}
+}
+
+// TestAppendAdjMatchesFrozen checks that the overlay's live adjacency
+// (base arcs minus deletions, plus delta arcs) lists each vertex's
+// neighbors in the same order the compacted CSR graph will.
+func TestAppendAdjMatchesFrozen(t *testing.T) {
+	base := gen.Gnm(30, 60, 3)
+	dg := New(base)
+	r := rng.New(99)
+	for op := 0; op < 120; op++ {
+		if r.Intn(2) == 0 {
+			u, v := int32(r.Intn(30)), int32(r.Intn(30))
+			if u != v {
+				if _, err := dg.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if dg.M() > 0 {
+			id := int32(r.Intn(dg.NumIDs()))
+			if dg.Live(id) {
+				if err := dg.DeleteEdge(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Record overlay adjacency (neighbors only: IDs get renumbered).
+	type nbr struct{ to int32 }
+	before := make([][]nbr, dg.N())
+	var buf []graph.Arc
+	for v := int32(0); int(v) < dg.N(); v++ {
+		buf = dg.AppendAdj(v, buf[:0])
+		if len(buf) != dg.Degree(v) {
+			t.Fatalf("vertex %d: AppendAdj returned %d arcs, Degree says %d", v, len(buf), dg.Degree(v))
+		}
+		for _, a := range buf {
+			before[v] = append(before[v], nbr{a.To})
+		}
+	}
+	dg.Freeze()
+	g := dg.Base()
+	for v := int32(0); int(v) < g.N(); v++ {
+		adj := g.Adj(v)
+		if len(adj) != len(before[v]) {
+			t.Fatalf("vertex %d: frozen degree %d, overlay had %d", v, len(adj), len(before[v]))
+		}
+		for i, a := range adj {
+			if a.To != before[v][i].to {
+				t.Fatalf("vertex %d port %d: frozen neighbor %d, overlay had %d", v, i, a.To, before[v][i].to)
+			}
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	dg := New(gen.Grid(3, 3))
+	if _, err := dg.InsertEdge(2, 2); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := dg.InsertEdge(-1, 0); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if _, err := dg.InsertEdge(0, 9); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	dg := New(gen.Grid(3, 3))
+	if err := dg.DeleteEdge(int32(dg.NumIDs())); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if err := dg.DeleteEdge(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.DeleteEdge(0); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	// Insert-then-delete of a delta edge.
+	id, err := dg.InsertEdge(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.DeleteEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	if dg.Live(id) {
+		t.Fatal("deleted delta edge still live")
+	}
+}
+
+func TestNeedsFreeze(t *testing.T) {
+	dg := New(gen.Grid(4, 4)) // 24 edges
+	if dg.NeedsFreeze(0.25) {
+		t.Fatal("fresh overlay claims to need a freeze")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := dg.InsertEdge(0, int32(1+i%15)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dg.NeedsFreeze(0.25) {
+		t.Fatalf("10 inserts on 24 edges (fraction %.2f) should exceed 0.25", dg.DeltaFraction())
+	}
+	dg.Freeze()
+	if dg.NeedsFreeze(0.25) || dg.DeltaFraction() != 0 {
+		t.Fatal("freeze did not reset the delta")
+	}
+}

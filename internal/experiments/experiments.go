@@ -65,6 +65,7 @@ var Registry = []Runner{
 	{"baseline", "Barenboim-Elkin baseline: (2+eps)a-FD rounds scaling", BaselineBE},
 	{"exact", "Gabow-Westermann exact arboricity ground truth", ExactGW},
 	{"decompose", "End-to-end decomposition hot path (rounds, msgs, traffic)", DecomposeE2E},
+	{"dynamic", "Dynamic churn: incremental maintenance vs per-mutation rebuild", DynamicChurn},
 }
 
 // Find returns the runner with the given name, or nil.

@@ -66,6 +66,16 @@ func approxResultBytes(r *JobResult) int64 {
 	return b
 }
 
+// peek looks a key up for internal reuse (incremental warm starts)
+// without touching the hit/miss counters, which track client-visible
+// cache behavior only. It still refreshes recency: a warm start being
+// used is a reason to keep the entry.
+func (c *resultCache) peek(key string) (*JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.get(key)
+}
+
 func (c *resultCache) get(key string) (*JobResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -24,7 +24,13 @@ const maxUploadBytes = 256 << 20
 //	                        server-side file relative to Config.IngestDir
 //	                        (403 unless an ingest directory is configured)
 //	GET    /graphs          list stored graphs
-//	GET    /graphs/{id}     metadata of one graph
+//	GET    /graphs/{id}     metadata of one graph (including its parent
+//	                        version, if derived by mutation)
+//	POST   /graphs/{id}/edges
+//	                        derive a new version: {"insert": [[u,v],...],
+//	                        "delete": [edgeID,...]} applies the batch to
+//	                        graph {id} and returns the content-addressed
+//	                        child version (201)
 //	POST   /jobs            submit a JobSpec; 200 + done job on a cache
 //	                        hit, 202 + queued job otherwise, 503 when the
 //	                        queue is full
@@ -49,6 +55,9 @@ func NewHTTPHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /graphs/{id}/edges", func(w http.ResponseWriter, r *http.Request) {
+		handleMutateGraph(svc, w, r)
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmitJob(svc, w, r)
@@ -121,6 +130,36 @@ func handleAddGraph(svc *Service, w http.ResponseWriter, r *http.Request) {
 		info, err = svc.Store().AddBytes(data, format)
 	}
 	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// maxMutationBytes caps POST /graphs/{id}/edges bodies; a batch of a
+// few million edges fits comfortably.
+const maxMutationBytes = 64 << 20
+
+func handleMutateGraph(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var mut Mutation
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutationBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mut); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad mutation body: %w", err))
+		return
+	}
+	if len(mut.Insert) == 0 && len(mut.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty mutation: need \"insert\" and/or \"delete\""))
+		return
+	}
+	info, err := svc.Store().Mutate(r.PathValue("id"), mut)
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		// Mutate's own lookup decides existence, so an eviction between a
+		// pre-check and the derivation can't be misreported as a 400.
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

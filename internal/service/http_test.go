@@ -283,6 +283,171 @@ func TestServeHealthAndLists(t *testing.T) {
 	}
 }
 
+// TestServeVersioningAndIncremental is the dynamic-graph client story:
+// upload a graph, decompose it, derive a child version with a batch of
+// edge updates, and have the child decomposed incrementally from the
+// parent's cached result — repaired, not recomputed.
+func TestServeVersioningAndIncremental(t *testing.T) {
+	svc, ts := testServer(t, Config{Workers: 2})
+	g := gen.ForestUnion(200, 3, 42)
+
+	var parent GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/graphs", encode(t, g), "", &parent); code != http.StatusCreated {
+		t.Fatalf("POST /graphs -> %d", code)
+	}
+	if parent.Parent != "" {
+		t.Fatalf("uploaded graph claims parent %q", parent.Parent)
+	}
+
+	// Decompose the parent (the future warm start).
+	spec, _ := json.Marshal(JobSpec{GraphID: parent.ID, Algorithm: "decompose",
+		Options: nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 7}})
+	var snap, done JobSnapshot
+	doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", &snap)
+	doJSON(t, "GET", ts.URL+"/jobs/"+snap.ID+"?wait=30s", nil, "", &done)
+	if done.State != JobDone {
+		t.Fatalf("parent decompose: %s (%s)", done.State, done.Error)
+	}
+
+	// Derive a child version: drop two edges, add four.
+	mut := []byte(`{"insert": [[0,5],[5,9],[9,13],[2,100]], "delete": [0,1]}`)
+	var child GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/graphs/"+parent.ID+"/edges", mut, "application/json", &child); code != http.StatusCreated {
+		t.Fatalf("POST /graphs/{id}/edges -> %d", code)
+	}
+	if child.Parent != parent.ID {
+		t.Fatalf("child parent = %q, want %q", child.Parent, parent.ID)
+	}
+	if child.M != parent.M+4-2 {
+		t.Fatalf("child has m=%d, want %d", child.M, parent.M+2)
+	}
+	var gotten GraphInfo
+	if code := doJSON(t, "GET", ts.URL+"/graphs/"+child.ID, nil, "", &gotten); code != http.StatusOK || gotten.Parent != parent.ID {
+		t.Fatalf("GET child -> %d, parent %q", code, gotten.Parent)
+	}
+
+	// Incremental decompose of the child: warm-started from the parent's
+	// cached result, repaired by the dynamic maintainer.
+	incSpec, _ := json.Marshal(JobSpec{GraphID: child.ID, Algorithm: "decompose", Mode: ModeIncremental,
+		Options: nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 7}})
+	var incSnap, incDone JobSnapshot
+	doJSON(t, "POST", ts.URL+"/jobs", incSpec, "application/json", &incSnap)
+	doJSON(t, "GET", ts.URL+"/jobs/"+incSnap.ID+"?wait=30s", nil, "", &incDone)
+	if incDone.State != JobDone {
+		t.Fatalf("incremental decompose: %s (%s)", incDone.State, incDone.Error)
+	}
+	d := incDone.Result.Decomposition
+	childGraph, err := svc.Store().Get(child.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nwforest.Verify(childGraph, d.Colors, d.NumForests); err != nil {
+		t.Fatalf("incremental result invalid: %v", err)
+	}
+	// The phase breakdown proves the repair path ran (a full-run fallback
+	// would report the standard pipeline phases instead).
+	repaired := false
+	for _, p := range d.Phases {
+		if strings.HasPrefix(p.Name, "dynamic/") {
+			repaired = true
+		}
+	}
+	if !repaired {
+		t.Fatalf("incremental job did not use the repair path; phases %v", d.Phases)
+	}
+
+	// The identical incremental request is a cache hit under its own key.
+	var cached JobSnapshot
+	if code := doJSON(t, "POST", ts.URL+"/jobs", incSpec, "application/json", &cached); code != http.StatusOK || !cached.Cached {
+		t.Fatalf("repeat incremental -> %d cached=%v, want 200/true", code, cached.Cached)
+	}
+
+	// A full-mode decompose of the same child is a distinct computation —
+	// fresh job, not the incremental cache entry.
+	fullSpec, _ := json.Marshal(JobSpec{GraphID: child.ID, Algorithm: "decompose",
+		Options: nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 7}})
+	var fullSnap JobSnapshot
+	if code := doJSON(t, "POST", ts.URL+"/jobs", fullSpec, "application/json", &fullSnap); code != http.StatusAccepted {
+		t.Fatalf("full-mode decompose of child -> %d, want 202 (separate cache identity)", code)
+	}
+
+	var stats Stats
+	doJSON(t, "GET", ts.URL+"/stats", nil, "", &stats)
+	if stats.Store.Mutations != 1 {
+		t.Fatalf("stats report %d mutations, want 1", stats.Store.Mutations)
+	}
+}
+
+// TestServeIncrementalFallsBackCold: incremental mode on a graph with no
+// cached parent result (or no lineage at all) degrades to a full run.
+func TestServeIncrementalFallsBackCold(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	var parent GraphInfo
+	doJSON(t, "POST", ts.URL+"/graphs", encode(t, gen.ForestUnion(100, 2, 9)), "", &parent)
+
+	// No lineage: incremental on a root graph.
+	rootSpec, _ := json.Marshal(JobSpec{GraphID: parent.ID, Algorithm: "decompose", Mode: ModeIncremental,
+		Options: nwforest.Options{Alpha: 2, Eps: 0.5, Seed: 3}})
+	var snap, done JobSnapshot
+	doJSON(t, "POST", ts.URL+"/jobs", rootSpec, "application/json", &snap)
+	doJSON(t, "GET", ts.URL+"/jobs/"+snap.ID+"?wait=30s", nil, "", &done)
+	if done.State != JobDone {
+		t.Fatalf("rootless incremental: %s (%s)", done.State, done.Error)
+	}
+
+	// Lineage but no warm start: the parent was never decomposed.
+	var child GraphInfo
+	if code := doJSON(t, "POST", ts.URL+"/graphs/"+parent.ID+"/edges", []byte(`{"insert":[[0,50]]}`), "application/json", &child); code != http.StatusCreated {
+		t.Fatalf("mutate -> %d", code)
+	}
+	childSpec, _ := json.Marshal(JobSpec{GraphID: child.ID, Algorithm: "decompose", Mode: ModeIncremental,
+		Options: nwforest.Options{Alpha: 2, Eps: 0.5, Seed: 99}})
+	doJSON(t, "POST", ts.URL+"/jobs", childSpec, "application/json", &snap)
+	doJSON(t, "GET", ts.URL+"/jobs/"+snap.ID+"?wait=30s", nil, "", &done)
+	if done.State != JobDone {
+		t.Fatalf("cold incremental: %s (%s)", done.State, done.Error)
+	}
+	for _, p := range done.Result.Decomposition.Phases {
+		if strings.HasPrefix(p.Name, "dynamic/") {
+			t.Fatalf("cold incremental claims repair phases %v", done.Result.Decomposition.Phases)
+		}
+	}
+}
+
+func TestServeMutationErrors(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	var info GraphInfo
+	doJSON(t, "POST", ts.URL+"/graphs", encode(t, gen.Grid(3, 3)), "", &info)
+
+	if code := doJSON(t, "POST", ts.URL+"/graphs/sha256:nope/edges", []byte(`{"insert":[[0,1]]}`), "application/json", nil); code != http.StatusNotFound {
+		t.Fatalf("mutate unknown graph -> %d, want 404", code)
+	}
+	cases := []string{
+		`{}`,                  // empty batch
+		`{"insert":[[4,4]]}`,  // self-loop
+		`{"insert":[[0,99]]}`, // endpoint out of range
+		`{"delete":[99]}`,     // edge ID out of range
+		`{"delete":[0,0]}`,    // double delete
+		`{"inserts":[[0,1]]}`, // unknown field
+	}
+	for _, body := range cases {
+		if code := doJSON(t, "POST", ts.URL+"/graphs/"+info.ID+"/edges", []byte(body), "application/json", nil); code != http.StatusBadRequest {
+			t.Fatalf("mutation %s -> %d, want 400", body, code)
+		}
+	}
+	// Bad modes are rejected at submit time.
+	spec, _ := json.Marshal(JobSpec{GraphID: info.ID, Algorithm: "stars", Mode: ModeIncremental,
+		Options: nwforest.Options{Alpha: 2, Eps: 0.5}})
+	if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", nil); code != http.StatusBadRequest {
+		t.Fatalf("incremental stars -> %d, want 400", code)
+	}
+	spec, _ = json.Marshal(JobSpec{GraphID: info.ID, Algorithm: "decompose", Mode: "sideways",
+		Options: nwforest.Options{Alpha: 2, Eps: 0.5}})
+	if code := doJSON(t, "POST", ts.URL+"/jobs", spec, "application/json", nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown mode -> %d, want 400", code)
+	}
+}
+
 // TestServeConcurrentClients hammers one server with parallel uploads and
 // jobs across several algorithms — the acceptance scenario for serving
 // concurrent decomposition jobs end-to-end.

@@ -49,7 +49,18 @@ type JobSpec struct {
 	// TimeoutMillis bounds the job's total lifetime (queue wait plus
 	// execution); 0 uses the service default.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Mode selects how the result is computed: "" or "full" recomputes
+	// from scratch; "incremental" (algorithm "decompose" only) warm-starts
+	// from the parent version's cached decomposition and repairs it under
+	// the mutation batch that derived this graph, falling back to a full
+	// run when no warm start is available. Incremental results are valid
+	// decompositions of the same graph but generally use different colors
+	// than a full run, so Mode is part of the cache identity.
+	Mode string `json:"mode,omitempty"`
 }
+
+// ModeIncremental is the JobSpec.Mode value requesting warm-start repair.
+const ModeIncremental = "incremental"
 
 // CacheKey canonicalizes the spec into the result-cache key. Two specs
 // share a key exactly when they denote the same computation: the key is
@@ -61,7 +72,8 @@ func (sp JobSpec) CacheKey() string {
 	n := sp.normalized()
 	return n.GraphID + "|" + n.Algorithm + "|" + n.Options.Key() +
 		",alphaStar=" + strconv.Itoa(n.AlphaStar) +
-		",palette=" + strconv.Itoa(n.PaletteSize)
+		",palette=" + strconv.Itoa(n.PaletteSize) +
+		",mode=" + n.Mode
 }
 
 // normalized zeroes every parameter the spec's algorithm ignores and
@@ -71,6 +83,11 @@ func (sp JobSpec) CacheKey() string {
 // library for this algorithm.
 func (sp JobSpec) normalized() JobSpec {
 	sp.TimeoutMillis = 0
+	// "full" is the explicit spelling of the default; only a decompose
+	// run in incremental mode computes anything different.
+	if sp.Mode != ModeIncremental || sp.Algorithm != "decompose" {
+		sp.Mode = ""
+	}
 	switch sp.Algorithm {
 	case "decompose": // full Options; no alphaStar/palette
 		sp.AlphaStar, sp.PaletteSize = 0, 0

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"nwforest"
+	"nwforest/internal/dynamic"
 	"nwforest/internal/graph"
 )
 
@@ -491,7 +492,81 @@ func (s *Service) execute(ctx context.Context, spec JobSpec) (*JobResult, error)
 	if s.execHook != nil {
 		return s.execHook(ctx, g, spec)
 	}
+	if spec.normalized().Mode == ModeIncremental {
+		if res, ok := s.tryIncremental(g, spec); ok {
+			return res, nil
+		}
+		// No lineage or no warm start: incremental degrades to a full
+		// run rather than failing the job.
+	}
 	return RunSpec(g, spec)
+}
+
+// tryIncremental serves a mode=incremental decompose job by repair
+// instead of recomputation: it looks up the mutation batch that derived
+// spec.GraphID, takes the parent version's cached decomposition (full
+// result preferred, its own incremental result otherwise) as the warm
+// start, and replays the batch through a dynamic.Maintainer. The repaired
+// coloring is re-verified against this version's own stored graph before
+// it is returned, exactly like a cold result. It reports false whenever
+// any ingredient is missing, in which case the caller falls back to a
+// full run.
+func (s *Service) tryIncremental(g *graph.Graph, spec JobSpec) (*JobResult, bool) {
+	parentID, mut, ok := s.store.MutationOf(spec.GraphID)
+	if !ok {
+		return nil, false
+	}
+	pSpec := spec
+	pSpec.GraphID = parentID
+	pSpec.Mode = ""
+	warm, ok := s.cache.peek(pSpec.CacheKey())
+	if !ok {
+		pSpec.Mode = ModeIncremental
+		warm, ok = s.cache.peek(pSpec.CacheKey())
+	}
+	if !ok || warm.Decomposition == nil {
+		return nil, false
+	}
+	parent, err := s.store.Get(parentID)
+	if err != nil || len(warm.Decomposition.Colors) != parent.M() {
+		return nil, false
+	}
+	m, err := dynamic.NewMaintainer(parent, warm.Decomposition.Colors, warm.Decomposition.NumForests, dynamic.Config{
+		Alpha: spec.Options.Alpha,
+		Eps:   spec.Options.Eps,
+		Seed:  spec.Options.Seed,
+	})
+	if err != nil {
+		return nil, false
+	}
+	for _, id := range mut.Delete {
+		if err := m.DeleteEdge(id); err != nil {
+			return nil, false
+		}
+	}
+	for _, e := range mut.Insert {
+		if _, err := m.InsertEdge(e[0], e[1]); err != nil {
+			return nil, false
+		}
+	}
+	repaired, colors, k, err := m.Result()
+	if err != nil || repaired.M() != g.M() {
+		return nil, false
+	}
+	// The maintainer's compaction order matches Mutate's, so the colors
+	// line up with this version's edge IDs; verify against the store's
+	// graph (the source of truth), not the maintainer's copy.
+	if err := nwforest.Verify(g, colors, k); err != nil {
+		return nil, false
+	}
+	cost := m.Cost()
+	return &JobResult{Decomposition: &nwforest.Decomposition{
+		Colors:     colors,
+		NumForests: k,
+		Diameter:   nwforest.Diameter(g, colors),
+		Rounds:     cost.Rounds(),
+		Phases:     cost.Breakdown(),
+	}}, true
 }
 
 // RunSpec runs the algorithm a spec names directly on a graph. It is the
@@ -620,6 +695,15 @@ func (sp JobSpec) validate() error {
 	}
 	if sp.Options.Alpha < 0 || sp.Options.Alpha > maxJobAlpha {
 		return fmt.Errorf("service: options.alpha must be in [0, %d], got %d", maxJobAlpha, sp.Options.Alpha)
+	}
+	switch sp.Mode {
+	case "", "full":
+	case ModeIncremental:
+		if sp.Algorithm != "decompose" {
+			return fmt.Errorf("service: mode %q is only supported for algorithm \"decompose\", got %q", ModeIncremental, sp.Algorithm)
+		}
+	default:
+		return fmt.Errorf("service: unknown mode %q (want \"\", \"full\" or %q)", sp.Mode, ModeIncremental)
 	}
 	needsEps := true
 	switch sp.Algorithm {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"nwforest/internal/dynamic"
 	"nwforest/internal/graph"
 )
 
@@ -23,6 +24,13 @@ import (
 // oldest uploads are dropped entirely (their IDs become unknown) rather
 // than letting a long-lived server grow without bound. File-backed
 // sources retain only the path and never count against the budget.
+//
+// Graphs are versions: Mutate derives a child graph from a stored parent
+// by a batch of edge insertions/deletions, content-addresses the result
+// like any ingest, and records the parent link plus the mutation batch.
+// Because identity is the content hash, "version" and "graph" are the
+// same thing — equal results collapse to one entry, and a stale result
+// cache entry for an old version can never be served for a new one.
 type Store struct {
 	mu             sync.Mutex
 	sources        map[string]*graphSource
@@ -32,7 +40,7 @@ type Store struct {
 	maxSourceBytes int64
 	warmBytes      int64 // Footprint sum of the warm parsed graphs
 
-	hits, misses, evictions, reparses, sourceEvictions int64
+	hits, misses, evictions, reparses, sourceEvictions, mutations int64
 }
 
 // warmPut warms a parsed graph, keeping warmBytes in sync. Must be
@@ -49,8 +57,9 @@ func (s *Store) warmPut(id string, g *graph.Graph) {
 // graphSource is where a stored graph's bytes live.
 type graphSource struct {
 	info GraphInfo
-	path string // file-backed when non-empty
-	data []byte // upload-backed otherwise
+	path string    // file-backed when non-empty
+	data []byte    // upload-backed otherwise
+	mut  *Mutation // for Mutate-derived graphs: the batch that produced it
 }
 
 // GraphInfo describes a stored graph.
@@ -61,7 +70,31 @@ type GraphInfo struct {
 	M      int    `json:"m"`
 	Format string `json:"format"`
 	Bytes  int64  `json:"bytes"`
+	// Parent is the version this graph was derived from by Mutate
+	// (empty for directly ingested graphs). Lineage follows the first
+	// derivation: if an identical graph is later re-derived or uploaded,
+	// the original entry (and its parent link) wins.
+	Parent string `json:"parent,omitempty"`
 }
+
+// Mutation is a batch of edge updates applied to a parent graph.
+// Deletions name parent edge IDs (indices into the parent's edge list,
+// the order its wire format declares them in) and are applied before
+// insertions, so a deletion can never target an edge inserted by the
+// same batch. The derived child's edge list is the canonical dynamic
+// compaction order: surviving parent edges in parent-ID order, then
+// insertions in batch order.
+type Mutation struct {
+	// Insert lists new undirected edges as [u, v] pairs.
+	Insert [][2]int32 `json:"insert,omitempty"`
+	// Delete lists parent edge IDs to remove.
+	Delete []int32 `json:"delete,omitempty"`
+}
+
+// maxMutationEdges bounds a single mutation batch's insertions —
+// like maxHeaderCount on the ingest side, a client request must not
+// commission an arbitrarily large allocation.
+const maxMutationEdges = 1 << 22
 
 // StoreStats are the Store's counters, as served by /stats.
 type StoreStats struct {
@@ -86,6 +119,9 @@ type StoreStats struct {
 	// WarmBytes approximates the heap held by warm parsed graphs (edge
 	// list + CSR adjacency, per graph.Footprint).
 	WarmBytes int64 `json:"warmBytes"`
+	// Mutations counts successful Mutate derivations (re-deriving an
+	// identical child counts; failed batches do not).
+	Mutations int64 `json:"mutations"`
 }
 
 // DefaultMaxSourceBytes is the upload-retention budget NewStore applies
@@ -125,7 +161,7 @@ func hashID(f graph.Format, data []byte) string {
 // (FormatAuto detects it). Re-adding identical bytes is idempotent and
 // returns the existing entry.
 func (s *Store) AddBytes(data []byte, f graph.Format) (GraphInfo, error) {
-	return s.add(data, f, "")
+	return s.add(data, f, "", "", nil)
 }
 
 // AddFile ingests a graph from a file on the server's filesystem. Only
@@ -137,10 +173,62 @@ func (s *Store) AddFile(path string, f graph.Format) (GraphInfo, error) {
 	if err != nil {
 		return GraphInfo{}, err
 	}
-	return s.add(data, f, path)
+	return s.add(data, f, path, "", nil)
 }
 
-func (s *Store) add(data []byte, f graph.Format, path string) (GraphInfo, error) {
+// Mutate derives a new graph version from parent by applying mut (all
+// deletions, then all insertions — see Mutation), re-encodes the result
+// in the plain wire format, and ingests it like an upload: the child is
+// content-addressed, counts against the retention budget, and is warmed
+// immediately. The returned info carries the parent link; the batch is
+// retained so incremental jobs can replay it against the parent's
+// cached decomposition.
+func (s *Store) Mutate(parent string, mut Mutation) (GraphInfo, error) {
+	if len(mut.Insert) > maxMutationEdges {
+		return GraphInfo{}, fmt.Errorf("service: mutation inserts %d edges, limit %d", len(mut.Insert), maxMutationEdges)
+	}
+	pg, err := s.Get(parent)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	dg := dynamic.New(pg)
+	for _, id := range mut.Delete {
+		if err := dg.DeleteEdge(id); err != nil {
+			return GraphInfo{}, fmt.Errorf("service: %w", err)
+		}
+	}
+	for _, e := range mut.Insert {
+		if _, err := dg.InsertEdge(e[0], e[1]); err != nil {
+			return GraphInfo{}, fmt.Errorf("service: %w", err)
+		}
+	}
+	dg.Freeze()
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, dg.Base()); err != nil {
+		return GraphInfo{}, err
+	}
+	info, err := s.add(buf.Bytes(), graph.FormatPlain, "", parent, &mut)
+	if err == nil {
+		s.mu.Lock()
+		s.mutations++
+		s.mu.Unlock()
+	}
+	return info, err
+}
+
+// MutationOf returns the parent version and mutation batch that derived
+// id, if id was produced by Mutate (and the entry is still retained).
+func (s *Store) MutationOf(id string) (parent string, mut Mutation, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, found := s.sources[id]
+	if !found || src.mut == nil {
+		return "", Mutation{}, false
+	}
+	return src.info.Parent, *src.mut, true
+}
+
+func (s *Store) add(data []byte, f graph.Format, path, parent string, mut *Mutation) (GraphInfo, error) {
 	format, err := resolveFormat(data, f)
 	if err != nil {
 		return GraphInfo{}, err
@@ -158,8 +246,8 @@ func (s *Store) add(data []byte, f graph.Format, path string) (GraphInfo, error)
 	if err != nil {
 		return GraphInfo{}, err
 	}
-	info := GraphInfo{ID: id, N: g.N(), M: g.M(), Format: string(format), Bytes: int64(len(data))}
-	src := &graphSource{info: info, path: path}
+	info := GraphInfo{ID: id, N: g.N(), M: g.M(), Format: string(format), Bytes: int64(len(data)), Parent: parent}
+	src := &graphSource{info: info, path: path, mut: mut}
 	if path == "" {
 		src.data = data
 	}
@@ -225,7 +313,7 @@ func (s *Store) Get(id string) (*graph.Graph, error) {
 	src, ok := s.sources[id]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("service: unknown graph %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, id)
 	}
 	if g, ok := s.warm.get(id); ok {
 		s.hits++
@@ -291,6 +379,7 @@ func (s *Store) Stats() StoreStats {
 		RetainedBytes:   s.uploadBytes,
 		SourceEvictions: s.sourceEvictions,
 		WarmBytes:       s.warmBytes,
+		Mutations:       s.mutations,
 	}
 }
 

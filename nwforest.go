@@ -32,6 +32,7 @@ import (
 
 	"nwforest/internal/core"
 	"nwforest/internal/dist"
+	"nwforest/internal/dynamic"
 	"nwforest/internal/exact"
 	"nwforest/internal/graph"
 	"nwforest/internal/hpartition"
@@ -345,4 +346,38 @@ func DecomposePseudo(g *Graph, opts Options) (*Decomposition, error) {
 		Rounds:     cost.Rounds(),
 		Phases:     cost.Breakdown(),
 	}, nil
+}
+
+// DynamicGraph is a mutable overlay over a Graph: a frozen CSR base plus
+// a delta of inserted and deleted edges, compacted back to pure CSR by
+// Freeze. See internal/dynamic for the full contract (edge-ID stability,
+// canonical compaction order).
+type DynamicGraph = dynamic.Graph
+
+// NewDynamicGraph returns a mutable overlay over g; g itself is never
+// modified.
+func NewDynamicGraph(g *Graph) *DynamicGraph { return dynamic.New(g) }
+
+// Maintainer keeps a forest decomposition valid under InsertEdge and
+// DeleteEdge by local repair — a free color at the endpoints when one
+// exists, an augmenting sequence on conflict, and a budgeted full
+// rebuild when repairs accumulate — instead of recomputing from scratch
+// per mutation. Obtain one with Maintain.
+type Maintainer = dynamic.Maintainer
+
+// MaintainerStats counts a Maintainer's mutations and repairs.
+type MaintainerStats = dynamic.Stats
+
+// Maintain starts incremental maintenance of the decomposition d of g.
+// opts should be the Options d was computed with: Alpha and Eps
+// parameterize the full rebuilds the Maintainer falls back to, and Seed
+// keeps them reproducible. The Maintainer's Result returns the current
+// live graph with a verified decomposition at any point in the update
+// stream.
+func Maintain(g *Graph, d *Decomposition, opts Options) (*Maintainer, error) {
+	return dynamic.NewMaintainer(g, d.Colors, d.NumForests, dynamic.Config{
+		Alpha: opts.Alpha,
+		Eps:   opts.Eps,
+		Seed:  opts.Seed,
+	})
 }
