@@ -1,0 +1,286 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nwforest/internal/gen"
+	"nwforest/internal/verify"
+)
+
+func TestRegistryShape(t *testing.T) {
+	want := []string{
+		"decompose", "list", "stars", "stars-list24", "be",
+		"pseudo", "orient", "estimate-alpha", "arboricity",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d algorithms, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("Names()[%d] = %q, want %q (order is part of the API)", i, got[i], name)
+		}
+		d, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if d.Summary == "" {
+			t.Errorf("%s: empty summary", name)
+		}
+		switch d.Caps.Output {
+		case OutputDecomposition, OutputOrientation, OutputScalar:
+		default:
+			t.Errorf("%s: bad output kind %q", name, d.Caps.Output)
+		}
+	}
+	if _, ok := Lookup("frobnicate"); ok {
+		t.Fatal("Lookup of unregistered name succeeded")
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("All() has %d entries", len(All()))
+	}
+}
+
+// TestCacheKeyGolden pins the exact key rendering: the service's result
+// cache persists across deployments in spirit (warm caches survive
+// rolling restarts of everything around them), so the redesign must not
+// silently invalidate existing keys. These strings are the byte-exact
+// keys the pre-registry implementation produced.
+func TestCacheKeyGolden(t *testing.T) {
+	cases := []struct {
+		req  Request
+		want string
+	}{
+		{
+			Request{Algorithm: "decompose", Options: Options{Alpha: 3, Eps: 0.5, Seed: 1}},
+			"decompose|alpha=3,eps=0.5,seed=1,diam=false,sampled=false,alphaStar=0,palette=0",
+		},
+		{
+			// Ignored params zeroed; diam/sampled kept.
+			Request{Algorithm: "decompose", Options: Options{Alpha: 3, Eps: 0.5, Seed: 1, ReduceDiameter: true, Sampled: true}, AlphaStar: 9, PaletteSize: 7},
+			"decompose|alpha=3,eps=0.5,seed=1,diam=true,sampled=true,alphaStar=0,palette=0",
+		},
+		{
+			// list: palette defaulted to ceil((1+eps)*alpha), diameter dropped.
+			Request{Algorithm: "list", Options: Options{Alpha: 16, Eps: 0.5, Seed: 2, ReduceDiameter: true}},
+			"list|alpha=16,eps=0.5,seed=2,diam=false,sampled=false,alphaStar=0,palette=24",
+		},
+		{
+			// be: alphaStar defaulted from alpha; seed/alpha dropped.
+			Request{Algorithm: "be", Options: Options{Alpha: 4, Eps: 0.5, Seed: 99}},
+			"be|alpha=0,eps=0.5,seed=0,diam=false,sampled=false,alphaStar=4,palette=0",
+		},
+		{
+			// stars-list24: palette defaulted to floor((4+eps)*alphaStar)-1.
+			Request{Algorithm: "stars-list24", AlphaStar: 3, Options: Options{Eps: 0.5, Alpha: 8, Seed: 5}},
+			"stars-list24|alpha=0,eps=0.5,seed=0,diam=false,sampled=false,alphaStar=3,palette=12",
+		},
+		{
+			Request{Algorithm: "stars", Options: Options{Alpha: 9, Eps: 0.5, Seed: 3, Sampled: true}},
+			"stars|alpha=9,eps=0.5,seed=3,diam=false,sampled=false,alphaStar=0,palette=0",
+		},
+		{
+			Request{Algorithm: "orient", Options: Options{Alpha: 10, Eps: 0.3, Seed: 5, ReduceDiameter: true}},
+			"orient|alpha=10,eps=0.3,seed=5,diam=false,sampled=false,alphaStar=0,palette=0",
+		},
+		{
+			// Parameterless: Options erased entirely.
+			Request{Algorithm: "estimate-alpha", Options: Options{Alpha: 7, Eps: 0.3, Seed: 9}, AlphaStar: 1, PaletteSize: 2},
+			"estimate-alpha|alpha=0,eps=0,seed=0,diam=false,sampled=false,alphaStar=0,palette=0",
+		},
+		{
+			Request{Algorithm: "arboricity"},
+			"arboricity|alpha=0,eps=0,seed=0,diam=false,sampled=false,alphaStar=0,palette=0",
+		},
+	}
+	for _, c := range cases {
+		if got := CacheKey(c.req); got != c.want {
+			t.Errorf("CacheKey(%s):\n got  %q\n want %q", c.req.Algorithm, got, c.want)
+		}
+	}
+}
+
+func TestValidateRequest(t *testing.T) {
+	ok := Options{Alpha: 2, Eps: 0.5, Seed: 1}
+	bad := []Request{
+		{Algorithm: "frobnicate", Options: ok},
+		{Algorithm: "decompose"},
+		{Algorithm: "decompose", Options: Options{Alpha: 2}},
+		{Algorithm: "decompose", Options: Options{Eps: 0.5}},
+		{Algorithm: "stars-list24", Options: ok},
+		{Algorithm: "be", Options: Options{Eps: 0.5}},
+		{Algorithm: "decompose", Options: ok, AlphaStar: -1},
+		{Algorithm: "list", Options: ok, PaletteSize: -1},
+		{Algorithm: "list", Options: ok, PaletteSize: 2_000_000_000},
+		{Algorithm: "list", Options: Options{Alpha: 2_000_000_000, Eps: 0.5}},
+		{Algorithm: "stars-list24", Options: ok, AlphaStar: 2_000_000_000},
+		{Algorithm: "decompose", Options: Options{Alpha: 2, Eps: 1e300}},
+	}
+	for i, req := range bad {
+		if err := ValidateRequest(req); err == nil {
+			t.Errorf("bad request %d (%s) accepted", i, req.Algorithm)
+		}
+	}
+	good := []Request{
+		{Algorithm: "decompose", Options: ok},
+		{Algorithm: "be", Options: Options{Eps: 0.5}, AlphaStar: 2},
+		{Algorithm: "be", Options: Options{Alpha: 2, Eps: 0.5}},
+		{Algorithm: "stars-list24", Options: Options{Eps: 0.5}, AlphaStar: 2},
+		{Algorithm: "estimate-alpha"},
+		{Algorithm: "arboricity"},
+	}
+	for i, req := range good {
+		if err := ValidateRequest(req); err != nil {
+			t.Errorf("good request %d (%s) rejected: %v", i, req.Algorithm, err)
+		}
+	}
+}
+
+// TestRunAllAlgorithms drives every registered algorithm end-to-end
+// through Run on one graph and checks the advertised output shape.
+func TestRunAllAlgorithms(t *testing.T) {
+	g := gen.SimpleForestUnion(60, 3, 9)
+	for _, d := range All() {
+		req := Request{Algorithm: d.Name, AlphaStar: 4,
+			Options: Options{Alpha: 4, Eps: 0.5, Seed: 3}}
+		res, err := Run(context.Background(), g, req)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		switch d.Caps.Output {
+		case OutputOrientation:
+			if res.Orientation == nil || len(res.Orientation.Phases) == 0 {
+				t.Fatalf("%s: missing orientation or phase breakdown", d.Name)
+			}
+			if s := res.Orientation.String(); !strings.Contains(s, "maxOutDegree=") {
+				t.Fatalf("%s: bad String() %q", d.Name, s)
+			}
+		case OutputScalar:
+			if res.Alpha < 1 {
+				t.Fatalf("%s: implausible alpha %d", d.Name, res.Alpha)
+			}
+		default:
+			if res.Decomposition == nil || res.Decomposition.NumForests == 0 {
+				t.Fatalf("%s: missing decomposition", d.Name)
+			}
+			if s := res.Decomposition.String(); !strings.Contains(s, "forests=") {
+				t.Fatalf("%s: bad String() %q", d.Name, s)
+			}
+			if d.Name == "pseudo" {
+				continue // pseudo-forests are not forests
+			}
+			kinds := map[string]bool{"stars": true, "stars-list24": true}
+			check := verify.ForestDecomposition
+			if kinds[d.Name] {
+				check = verify.StarForestDecomposition
+			}
+			k := res.Decomposition.NumForests
+			if d.Name == "list" || d.Name == "stars-list24" {
+				k = int(verify.MaxColor(res.Decomposition.Colors)) + 1
+			}
+			if err := check(g, res.Decomposition.Colors, k); err != nil {
+				t.Fatalf("%s: invalid result: %v", d.Name, err)
+			}
+		}
+	}
+}
+
+// TestRunEquivalentToWrappers pins determinism across the dispatch path:
+// Run with a Request must produce bit-identical colors to the same
+// parameters a second time (all randomness is seed-driven).
+func TestRunDeterministic(t *testing.T) {
+	g := gen.ForestUnion(200, 3, 4)
+	req := Request{Algorithm: "decompose", Options: Options{Alpha: 3, Eps: 0.5, Seed: 7}}
+	a, err := Run(context.Background(), g, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), g, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Decomposition.Colors {
+		if a.Decomposition.Colors[i] != b.Decomposition.Colors[i] {
+			t.Fatalf("colors diverge at edge %d", i)
+		}
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	g := gen.ForestUnion(500, 3, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Names() {
+		req := Request{Algorithm: name, AlphaStar: 4,
+			Options: Options{Alpha: 4, Eps: 0.5, Seed: 3}}
+		if _, err := Run(ctx, g, req); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: pre-canceled ctx: err = %v, want context.Canceled", name, err)
+		}
+	}
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel2()
+	if _, err := Run(ctx2, g, Request{Algorithm: "decompose", Options: Options{Alpha: 3, Eps: 0.5}}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// dispatchPrologue is the work Run performs before the algorithm itself:
+// lookup, validation, normalization. The benchmark and the alloc test
+// below keep it allocation-free so registry dispatch adds no per-request
+// garbage over the former hard-coded switches.
+func dispatchPrologue(req Request) (Request, error) {
+	d, ok := Lookup(req.Algorithm)
+	if !ok {
+		return req, errors.New("unknown")
+	}
+	if err := ValidateRequest(req); err != nil {
+		return req, err
+	}
+	return d.Normalize(req), nil
+}
+
+func TestDispatchPrologueZeroAlloc(t *testing.T) {
+	req := Request{Algorithm: "list", Options: Options{Alpha: 16, Eps: 0.5, Seed: 2}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		n, err := dispatchPrologue(req)
+		if err != nil || n.PaletteSize != 24 {
+			t.Fatalf("prologue: %+v, %v", n, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("dispatch prologue allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// BenchmarkRunDispatchOverhead measures the registry dispatch prologue
+// (lookup + validate + normalize) against the equivalent direct-call
+// prologue (inlined defaulting, no registry). Both must report 0
+// allocs/op; the delta in ns/op is the price of the uniform API.
+func BenchmarkRunDispatchOverhead(b *testing.B) {
+	req := Request{Algorithm: "list", Options: Options{Alpha: 16, Eps: 0.5, Seed: 2}}
+	b.Run("registry", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := dispatchPrologue(req)
+			if err != nil || n.PaletteSize == 0 {
+				b.Fatal("bad prologue")
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// The pre-registry equivalent: hand-rolled defaulting.
+			n := req
+			n.PaletteSize = listPaletteSize(n)
+			n.Options.ReduceDiameter = false
+			if n.PaletteSize == 0 {
+				b.Fatal("bad direct prologue")
+			}
+		}
+	})
+}

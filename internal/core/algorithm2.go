@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,7 +85,10 @@ func autoRadii(n int, eps float64) (rPrime, r int) {
 // O(log n) classes; each cluster first CUTs the monochromatic paths in
 // its annulus, then colors its incident uncolored edges by local
 // augmenting sequences. Rounds are charged to cost.
-func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Result, error) {
+//
+// ctx is checked once per cluster, so cancellation interrupts the
+// augmentation phase mid-class rather than only between phases.
+func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Result, error) {
 	if len(opts.Palettes) != g.M() {
 		return nil, fmt.Errorf("core: %d palettes for %d edges", len(opts.Palettes), g.M())
 	}
@@ -124,8 +128,11 @@ func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Re
 		if thr < 2 {
 			thr = 2
 		}
-		hp, err := hpartition.Partition(g, thr, 8*g.N()+16, cost)
+		hp, err := hpartition.Partition(ctx, g, thr, 8*g.N()+16, cost)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("core: sample-cut orientation: %w", err)
 		}
 		o := hpartition.AcyclicOrientation(g, hp, cost)
@@ -171,6 +178,9 @@ func RunAlgorithm2(g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Re
 		}
 		sortInt32(centers) // deterministic processing order
 		for _, center := range centers {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			members := clusters[center]
 			res.Stats.Clusters++
 			clusterEp++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"nwforest/internal/dist"
@@ -12,7 +13,7 @@ func TestRunAlgorithm2ProducesValidPartial(t *testing.T) {
 	g := gen.ForestUnion(300, 3, 1)
 	k := 4
 	var cost dist.Cost
-	res, err := RunAlgorithm2(g, Algo2Options{
+	res, err := RunAlgorithm2(context.Background(), g, Algo2Options{
 		Palettes: fullPalette(g.M(), k),
 		Alpha:    3,
 		Eps:      0.5,
@@ -48,14 +49,14 @@ func TestRunAlgorithm2ProducesValidPartial(t *testing.T) {
 
 func TestRunAlgorithm2RejectsBadPalettes(t *testing.T) {
 	g := gen.Grid(4, 4)
-	if _, err := RunAlgorithm2(g, Algo2Options{Palettes: nil, Alpha: 2, Eps: 0.5}, nil); err == nil {
+	if _, err := RunAlgorithm2(context.Background(), g, Algo2Options{Palettes: nil, Alpha: 2, Eps: 0.5}, nil); err == nil {
 		t.Fatal("palette length mismatch accepted")
 	}
 }
 
 func TestRunAlgorithm2EmptyGraph(t *testing.T) {
 	g := gen.RandomTree(1, 1)
-	res, err := RunAlgorithm2(g, Algo2Options{Palettes: fullPalette(0, 2), Alpha: 1, Eps: 0.5}, nil)
+	res, err := RunAlgorithm2(context.Background(), g, Algo2Options{Palettes: fullPalette(0, 2), Alpha: 1, Eps: 0.5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestRunAlgorithm2EmptyGraph(t *testing.T) {
 
 func TestRunAlgorithm2ExplicitRadii(t *testing.T) {
 	g := gen.ForestUnion(200, 3, 3)
-	res, err := RunAlgorithm2(g, Algo2Options{
+	res, err := RunAlgorithm2(context.Background(), g, Algo2Options{
 		Palettes: fullPalette(g.M(), 4),
 		Alpha:    3,
 		Eps:      0.5,
@@ -91,7 +92,7 @@ func TestRunAlgorithm2ExplicitRadii(t *testing.T) {
 
 func TestRunAlgorithm2SequenceStatsBounded(t *testing.T) {
 	g := gen.ForestUnion(250, 4, 9)
-	res, err := RunAlgorithm2(g, Algo2Options{
+	res, err := RunAlgorithm2(context.Background(), g, Algo2Options{
 		Palettes: fullPalette(g.M(), 5),
 		Alpha:    4,
 		Eps:      0.25,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,7 +57,11 @@ type FDResult struct {
 // ceil((1+eps/2)·alpha) colors, and the leftover (whose pseudo-arboricity
 // the CUT rules bound by O(eps·alpha)) is recolored with reserve colors by
 // the H-partition. Rounds are charged to cost.
-func ForestDecomposition(g *graph.Graph, opts FDOptions, cost *dist.Cost) (*FDResult, error) {
+//
+// ctx is observed at phase boundaries and inside the phase loops (per
+// engine round, per Algorithm 2 cluster); cancellation aborts the run
+// promptly with ctx.Err() instead of burning the retry budget.
+func ForestDecomposition(ctx context.Context, g *graph.Graph, opts FDOptions, cost *dist.Cost) (*FDResult, error) {
 	if opts.Alpha < 1 {
 		return nil, fmt.Errorf("core: Alpha must be >= 1, got %d", opts.Alpha)
 	}
@@ -69,21 +74,26 @@ func ForestDecomposition(g *graph.Graph, opts FDOptions, cost *dist.Cost) (*FDRe
 	}
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
-		res, err := forestDecompositionOnce(g, opts, opts.Seed+uint64(attempt), cost)
+		res, err := forestDecompositionOnce(ctx, g, opts, opts.Seed+uint64(attempt), cost)
 		if err == nil {
 			return res, nil
+		}
+		// A canceled attempt is the caller giving up, not a failed random
+		// seed: do not retry it away.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("core: all %d attempts failed: %w", retries, lastErr)
 }
 
-func forestDecompositionOnce(g *graph.Graph, opts FDOptions, seed uint64, cost *dist.Cost) (*FDResult, error) {
+func forestDecompositionOnce(ctx context.Context, g *graph.Graph, opts FDOptions, seed uint64, cost *dist.Cost) (*FDResult, error) {
 	k := int(math.Ceil((1 + opts.Eps/2) * float64(opts.Alpha)))
 	if k < opts.Alpha+1 {
 		k = opts.Alpha + 1
 	}
-	a2, err := RunAlgorithm2(g, Algo2Options{
+	a2, err := RunAlgorithm2(ctx, g, Algo2Options{
 		Palettes: fullPalette(g.M(), k),
 		Alpha:    opts.Alpha,
 		Eps:      opts.Eps,
@@ -108,7 +118,7 @@ func forestDecompositionOnce(g *graph.Graph, opts FDOptions, seed uint64, cost *
 		Stats:         a2.Stats,
 	}
 	// Recolor the leftover with reserve colors k, k+1, ...
-	extra, err := recolorLeftover(g, colors, a2.Leftover, k, opts, cost)
+	extra, err := recolorLeftover(ctx, g, colors, a2.Leftover, k, opts, cost)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +126,7 @@ func forestDecompositionOnce(g *graph.Graph, opts FDOptions, seed uint64, cost *
 
 	if opts.ReduceDiameter {
 		z := int(math.Ceil(4 / opts.Eps))
-		newColors, extra2, err := CutDepth(g, res.Colors, res.NumColors, z, opts.Alpha, opts.Eps, seed+101, cost)
+		newColors, extra2, err := CutDepth(ctx, g, res.Colors, res.NumColors, z, opts.Alpha, opts.Eps, seed+101, cost)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +145,7 @@ func forestDecompositionOnce(g *graph.Graph, opts FDOptions, seed uint64, cost *
 // extra colors used. The threshold starts at the Theorem 4.2 leftover
 // bound ~eps*alpha and doubles on failure (always succeeding by 3*alpha,
 // since the leftover is a subgraph of g).
-func recolorLeftover(g *graph.Graph, colors []int32, leftover []int32, offset int, opts FDOptions, cost *dist.Cost) (int, error) {
+func recolorLeftover(ctx context.Context, g *graph.Graph, colors []int32, leftover []int32, offset int, opts FDOptions, cost *dist.Cost) (int, error) {
 	if len(leftover) == 0 {
 		return 0, nil
 	}
@@ -145,8 +155,11 @@ func recolorLeftover(g *graph.Graph, colors []int32, leftover []int32, offset in
 		t2 = 2
 	}
 	for {
-		hp, err := hpartition.Partition(sub, t2, 8*sub.N()+16, cost)
+		hp, err := hpartition.Partition(ctx, sub, t2, 8*sub.N()+16, cost)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return 0, ctxErr
+			}
 			if t2 > 3*opts.Alpha+4 {
 				return 0, fmt.Errorf("core: leftover recoloring failed even at t=%d: %w", t2, err)
 			}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"nwforest/internal/dist"
 	"nwforest/internal/forest"
@@ -15,7 +18,7 @@ import (
 func TestForestDecompositionForestUnion(t *testing.T) {
 	g := gen.ForestUnion(400, 4, 1)
 	var cost dist.Cost
-	res, err := ForestDecomposition(g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 7}, &cost)
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 7}, &cost)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +36,7 @@ func TestForestDecompositionForestUnion(t *testing.T) {
 
 func TestForestDecompositionMultigraph(t *testing.T) {
 	g := gen.LineMultigraph(120, 5)
-	res, err := ForestDecomposition(g, FDOptions{Alpha: 5, Eps: 0.4, Seed: 3}, nil)
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 5, Eps: 0.4, Seed: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func TestForestDecompositionMultigraph(t *testing.T) {
 
 func TestForestDecompositionGnm(t *testing.T) {
 	g := gen.Gnm(300, 900, 5) // alpha ~= 4
-	res, err := ForestDecomposition(g, FDOptions{Alpha: 5, Eps: 0.5, Seed: 11}, nil)
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 5, Eps: 0.5, Seed: 11}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +61,7 @@ func TestForestDecompositionGnm(t *testing.T) {
 
 func TestForestDecompositionSampledCut(t *testing.T) {
 	g := gen.ForestUnion(300, 3, 9)
-	res, err := ForestDecomposition(g, FDOptions{Alpha: 3, Eps: 0.5, Seed: 1, Rule: CutSampled}, nil)
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 3, Eps: 0.5, Seed: 1, Rule: CutSampled}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func TestForestDecompositionSampledCut(t *testing.T) {
 
 func TestForestDecompositionWithDiameterReduction(t *testing.T) {
 	g := gen.LineMultigraph(200, 6) // worst case for diameter
-	res, err := ForestDecomposition(g, FDOptions{
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{
 		Alpha: 6, Eps: 0.5, Seed: 2, ReduceDiameter: true,
 	}, nil)
 	if err != nil {
@@ -86,20 +89,20 @@ func TestForestDecompositionWithDiameterReduction(t *testing.T) {
 
 func TestForestDecompositionValidatesOptions(t *testing.T) {
 	g := gen.Grid(4, 4)
-	if _, err := ForestDecomposition(g, FDOptions{Alpha: 0, Eps: 0.5}, nil); err == nil {
+	if _, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 0, Eps: 0.5}, nil); err == nil {
 		t.Fatal("Alpha=0 accepted")
 	}
-	if _, err := ForestDecomposition(g, FDOptions{Alpha: 2, Eps: 0}, nil); err == nil {
+	if _, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 2, Eps: 0}, nil); err == nil {
 		t.Fatal("Eps=0 accepted")
 	}
-	if _, err := ForestDecomposition(g, FDOptions{Alpha: 2, Eps: 1.5}, nil); err == nil {
+	if _, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 2, Eps: 1.5}, nil); err == nil {
 		t.Fatal("Eps>1 accepted")
 	}
 }
 
 func TestForestDecompositionEmptyAndTiny(t *testing.T) {
 	g := graph.MustNew(5, nil)
-	res, err := ForestDecomposition(g, FDOptions{Alpha: 1, Eps: 0.5}, nil)
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 1, Eps: 0.5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +110,7 @@ func TestForestDecompositionEmptyAndTiny(t *testing.T) {
 		t.Fatal("bad result for edgeless graph")
 	}
 	g = graph.MustNew(2, []graph.Edge{graph.E(0, 1)})
-	res, err = ForestDecomposition(g, FDOptions{Alpha: 1, Eps: 0.5}, nil)
+	res, err = ForestDecomposition(context.Background(), g, FDOptions{Alpha: 1, Eps: 0.5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +121,11 @@ func TestForestDecompositionEmptyAndTiny(t *testing.T) {
 
 func TestForestDecompositionDeterministic(t *testing.T) {
 	g := gen.ForestUnion(150, 3, 4)
-	a, err := ForestDecomposition(g, FDOptions{Alpha: 3, Eps: 0.5, Seed: 9}, nil)
+	a, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 3, Eps: 0.5, Seed: 9}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ForestDecomposition(g, FDOptions{Alpha: 3, Eps: 0.5, Seed: 9}, nil)
+	b, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 3, Eps: 0.5, Seed: 9}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestForestDecompositionDeterministic(t *testing.T) {
 // TestCorollary11EndToEnd: FD of diameter D -> (1+eps)alpha-orientation.
 func TestCorollary11EndToEnd(t *testing.T) {
 	g := gen.ForestUnion(250, 4, 6)
-	res, err := ForestDecomposition(g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 5, ReduceDiameter: true}, nil)
+	res, err := ForestDecomposition(context.Background(), g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 5, ReduceDiameter: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +158,7 @@ func TestCutDepthCapsDiameter(t *testing.T) {
 	}
 	g := graph.MustNew(n, edges)
 	colors := make([]int32, g.M()) // all color 0
-	newColors, extra, err := CutDepth(g, colors, 1, 10, 1, 0.5, 3, nil)
+	newColors, extra, err := CutDepth(context.Background(), g, colors, 1, 10, 1, 0.5, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +183,7 @@ func TestCutDepthNoCutNeeded(t *testing.T) {
 	if err := verify.PartialForestDecomposition(g, colors, 4); err != nil {
 		t.Skip("coloring not a forest decomposition; adjust test")
 	}
-	newColors, extra, err := CutDepth(g, colors, 4, 50, 2, 0.5, 1, nil)
+	newColors, extra, err := CutDepth(context.Background(), g, colors, 4, 50, 2, 0.5, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,5 +271,45 @@ func TestCutSampledRespectsLoadCap(t *testing.T) {
 		if c > 2 {
 			t.Fatalf("vertex %d lost %d out-edges, cap 2", v, c)
 		}
+	}
+}
+
+// TestForestDecompositionCanceled exercises the cancellation contract of
+// the context-first pipeline: a pre-canceled context fails immediately
+// with ctx.Err() (not a retries-exhausted error), and a context canceled
+// while a long decomposition is in flight interrupts it mid-phase —
+// within the per-cluster / per-round check granularity — rather than
+// after natural completion.
+func TestForestDecompositionCanceled(t *testing.T) {
+	g := gen.ForestUnion(2000, 4, 11)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ForestDecomposition(ctx, g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 1}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-run: cancel from a second goroutine as soon as the run starts.
+	// The run must return context.Canceled; if cancellation were only
+	// observed at phase boundaries after completion, the result would be
+	// nil-error instead.
+	started := make(chan struct{})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go func() {
+		<-started
+		cancel2()
+	}()
+	close(started)
+	_, err := ForestDecomposition(ctx2, g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 1}, nil)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run: err = %v, want nil or context.Canceled", err)
+	}
+
+	// Deadline form: an already-expired deadline surfaces DeadlineExceeded.
+	ctx3, cancel3 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel3()
+	if _, err := ForestDecomposition(ctx3, g, FDOptions{Alpha: 4, Eps: 0.5, Seed: 1}, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,7 +25,7 @@ import (
 // Choosing z = ceil(4/eps) yields the O(1/eps)-diameter variant
 // (requires alpha*eps modestly large for the extra colors to stay within
 // ceil(eps*alpha)); z = ceil(log n / eps) yields the low-leftover variant.
-func CutDepth(g *graph.Graph, colors []int32, numColors, z, alpha int, eps float64, seed uint64, cost *dist.Cost) ([]int32, int, error) {
+func CutDepth(ctx context.Context, g *graph.Graph, colors []int32, numColors, z, alpha int, eps float64, seed uint64, cost *dist.Cost) ([]int32, int, error) {
 	if z < 2 {
 		z = 2
 	}
@@ -73,8 +74,11 @@ func CutDepth(g *graph.Graph, colors []int32, numColors, z, alpha int, eps float
 		t2 = 2
 	}
 	for {
-		hp, err := hpartition.Partition(sub, t2, 8*sub.N()+16, cost)
+		hp, err := hpartition.Partition(ctx, sub, t2, 8*sub.N()+16, cost)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, 0, ctxErr
+			}
 			if t2 > 3*alpha+4 {
 				return nil, 0, fmt.Errorf("core: diameter-cut recoloring failed at t=%d: %w", t2, err)
 			}

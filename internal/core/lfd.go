@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,7 +51,7 @@ type LFDResult struct {
 // palettes via the (4+eps)-LSFD of Theorem 2.3. Proposition 4.8 glues the
 // two colorings: a color class never mixes main and reserve edges at any
 // vertex, so the union stays a forest per color.
-func ListForestDecomposition(g *graph.Graph, opts LFDOptions, cost *dist.Cost) (*LFDResult, error) {
+func ListForestDecomposition(ctx context.Context, g *graph.Graph, opts LFDOptions, cost *dist.Cost) (*LFDResult, error) {
 	if opts.Alpha < 1 {
 		return nil, fmt.Errorf("core: Alpha must be >= 1, got %d", opts.Alpha)
 	}
@@ -66,20 +67,23 @@ func ListForestDecomposition(g *graph.Graph, opts LFDOptions, cost *dist.Cost) (
 	}
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
-		res, err := listFDOnce(g, opts, opts.Seed+uint64(attempt)*1000003, cost)
+		res, err := listFDOnce(ctx, g, opts, opts.Seed+uint64(attempt)*1000003, cost)
 		if err == nil {
 			return res, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("core: all %d attempts failed: %w", retries, lastErr)
 }
 
-func listFDOnce(g *graph.Graph, opts LFDOptions, seed uint64, cost *dist.Cost) (*LFDResult, error) {
+func listFDOnce(ctx context.Context, g *graph.Graph, opts LFDOptions, seed uint64, cost *dist.Cost) (*LFDResult, error) {
 	if g.M() == 0 {
 		return &LFDResult{Colors: []int32{}}, nil
 	}
-	split, err := SplitColors(g, opts.Palettes, SplitOptions{
+	split, err := SplitColors(ctx, g, opts.Palettes, SplitOptions{
 		Variant:     opts.Split,
 		ReserveProb: opts.ReserveProb,
 		Eps:         opts.Eps,
@@ -92,7 +96,7 @@ func listFDOnce(g *graph.Graph, opts LFDOptions, seed uint64, cost *dist.Cost) (
 	q0 := split.InducedPalettes(g, opts.Palettes, 0)
 	q1 := split.InducedPalettes(g, opts.Palettes, 1)
 
-	a2, err := RunAlgorithm2(g, Algo2Options{
+	a2, err := RunAlgorithm2(ctx, g, Algo2Options{
 		Palettes: q0,
 		Alpha:    opts.Alpha,
 		Eps:      opts.Eps,
@@ -123,7 +127,7 @@ func listFDOnce(g *graph.Graph, opts LFDOptions, seed uint64, cost *dist.Cost) (
 			alphaStarLeft = 1
 		}
 		cost.Charge(int(math.Ceil(math.Log2(float64(g.N()+2)))), "core/leftover-measure")
-		subColors, err := ListStarForest24(sub, subPalettes, alphaStarLeft, opts.Eps, cost)
+		subColors, err := ListStarForest24(ctx, sub, subPalettes, alphaStarLeft, opts.Eps, cost)
 		if err != nil {
 			return nil, fmt.Errorf("core: leftover LSFD: %w", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -19,7 +20,7 @@ import (
 // The key invariant (Theorem 2.2): every edge's color differs from the
 // colors of all out-edges of both its endpoints under the acyclic
 // orientation, which forbids monochromatic length-3 paths.
-func ListStarForest24(g *graph.Graph, palettes [][]int32, alphaStar int, eps float64, cost *dist.Cost) ([]int32, error) {
+func ListStarForest24(ctx context.Context, g *graph.Graph, palettes [][]int32, alphaStar int, eps float64, cost *dist.Cost) ([]int32, error) {
 	if g.M() == 0 {
 		return []int32{}, nil
 	}
@@ -27,8 +28,11 @@ func ListStarForest24(g *graph.Graph, palettes [][]int32, alphaStar int, eps flo
 	if t < 1 {
 		t = 1
 	}
-	hp, err := hpartition.Partition(g, t, 8*g.N()+16, cost)
+	hp, err := hpartition.Partition(ctx, g, t, 8*g.N()+16, cost)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("core: LSFD peeling: %w", err)
 	}
 	o := hpartition.AcyclicOrientation(g, hp, cost)
@@ -59,6 +63,9 @@ func ListStarForest24(g *graph.Graph, palettes [][]int32, alphaStar int, eps flo
 	}
 	logN := int(math.Ceil(math.Log2(float64(g.N() + 2))))
 	for j := len(buckets) - 1; j >= 0; j-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bucket := buckets[j]
 		sort.Slice(bucket, func(a, b int) bool { return bucket[a].id < bucket[b].id })
 		for _, er := range bucket {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,7 +78,7 @@ type SplitOptions struct {
 // (Theorem 4.9). The returned split guarantees, w.h.p. (variant 1) or via
 // LLL fix-up (variant 2), that the induced palettes keep k0 >= MinMain
 // and k1 >= MinReserve colors per edge.
-func SplitColors(g *graph.Graph, palettes [][]int32, opts SplitOptions, cost *dist.Cost) (*ColorSplit, error) {
+func SplitColors(ctx context.Context, g *graph.Graph, palettes [][]int32, opts SplitOptions, cost *dist.Cost) (*ColorSplit, error) {
 	if opts.Variant == 0 {
 		opts.Variant = SplitByClustering
 	}
@@ -160,7 +161,10 @@ func SplitColors(g *graph.Graph, palettes [][]int32, opts SplitOptions, cost *di
 					}
 				},
 			}
-			if _, err := lll.Solve(inst, 40*g.N()+100, cost); err != nil {
+			if _, err := lll.Solve(ctx, inst, 40*g.N()+100, cost); err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				return nil, fmt.Errorf("core: split LLL did not converge: %w", err)
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -57,7 +58,7 @@ type SFDResult struct {
 //
 // The t-orientation substrate is the exact path-reversal orienter with the
 // SV19a round bound charged (see DESIGN.md, substitutions).
-func StarForestDecomposition(g *graph.Graph, opts SFDOptions, cost *dist.Cost) (*SFDResult, error) {
+func StarForestDecomposition(ctx context.Context, g *graph.Graph, opts SFDOptions, cost *dist.Cost) (*SFDResult, error) {
 	if opts.Alpha < 1 {
 		return nil, fmt.Errorf("core: Alpha must be >= 1, got %d", opts.Alpha)
 	}
@@ -212,8 +213,11 @@ func StarForestDecomposition(g *graph.Graph, opts SFDOptions, cost *dist.Cost) (
 		Resample:    func(v int32) { draw(v) },
 		EventRadius: 2,
 	}
-	iters, err := lll.Solve(inst, maxIters, cost)
+	iters, err := lll.Solve(ctx, inst, maxIters, cost)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("core: SFD LLL did not converge: %w", err)
 	}
 
@@ -253,8 +257,11 @@ func StarForestDecomposition(g *graph.Graph, opts SFDOptions, cost *dist.Cost) (
 		}
 		t2 = int(math.Ceil(2.5 * float64(t2)))
 		for {
-			hp, err := hpartition.Partition(sub, t2, 8*sub.N()+16, cost)
+			hp, err := hpartition.Partition(ctx, sub, t2, 8*sub.N()+16, cost)
 			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				if t2 > 3*opts.Alpha+4 {
 					return nil, fmt.Errorf("core: SFD leftover recoloring failed at t=%d: %w", t2, err)
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"nwforest/internal/dist"
@@ -12,7 +13,7 @@ func TestStarForestDecompositionSimpleGraph(t *testing.T) {
 	// alpha = 8 with eps = 0.5: t = 12, deficiency budget 8.
 	g := gen.SimpleForestUnion(240, 8, 3)
 	var cost dist.Cost
-	res, err := StarForestDecomposition(g, SFDOptions{Alpha: 9, Eps: 0.5, Seed: 1}, &cost)
+	res, err := StarForestDecomposition(context.Background(), g, SFDOptions{Alpha: 9, Eps: 0.5, Seed: 1}, &cost)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestStarForestDecompositionSimpleGraph(t *testing.T) {
 
 func TestStarForestDecompositionDenser(t *testing.T) {
 	g := gen.Gnm(300, 1800, 7) // alpha ~ 7
-	res, err := StarForestDecomposition(g, SFDOptions{Alpha: 8, Eps: 0.5, Seed: 5}, nil)
+	res, err := StarForestDecomposition(context.Background(), g, SFDOptions{Alpha: 8, Eps: 0.5, Seed: 5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,17 +42,17 @@ func TestStarForestDecompositionDenser(t *testing.T) {
 
 func TestStarForestRejectsBadAlpha(t *testing.T) {
 	g := gen.Clique(20) // alpha = 10
-	if _, err := StarForestDecomposition(g, SFDOptions{Alpha: 2, Eps: 0.2, Seed: 1}, nil); err == nil {
+	if _, err := StarForestDecomposition(context.Background(), g, SFDOptions{Alpha: 2, Eps: 0.2, Seed: 1}, nil); err == nil {
 		t.Fatal("alpha far below the true value accepted")
 	}
 }
 
 func TestStarForestOptionValidation(t *testing.T) {
 	g := gen.Grid(4, 4)
-	if _, err := StarForestDecomposition(g, SFDOptions{Alpha: 0, Eps: 0.5}, nil); err == nil {
+	if _, err := StarForestDecomposition(context.Background(), g, SFDOptions{Alpha: 0, Eps: 0.5}, nil); err == nil {
 		t.Fatal("Alpha=0 accepted")
 	}
-	if _, err := StarForestDecomposition(g, SFDOptions{Alpha: 2, Eps: 0}, nil); err == nil {
+	if _, err := StarForestDecomposition(context.Background(), g, SFDOptions{Alpha: 2, Eps: 0}, nil); err == nil {
 		t.Fatal("Eps=0 accepted")
 	}
 }
@@ -68,7 +69,7 @@ func TestListStarForestDecomposition(t *testing.T) {
 			palettes[id] = append(palettes[id], base+c)
 		}
 	}
-	res, err := StarForestDecomposition(g, SFDOptions{
+	res, err := StarForestDecomposition(context.Background(), g, SFDOptions{
 		Alpha: 10, Eps: 0.5, Seed: 2, Palettes: palettes, SelectProb: 0.6,
 	}, nil)
 	if err != nil {
@@ -94,7 +95,7 @@ func TestLSFD24(t *testing.T) {
 			palettes[id] = append(palettes[id], base+c)
 		}
 	}
-	colors, err := ListStarForest24(g, palettes, alphaStar, 1.0, nil)
+	colors, err := ListStarForest24(context.Background(), g, palettes, alphaStar, 1.0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestLSFD24(t *testing.T) {
 
 func TestLSFD24Empty(t *testing.T) {
 	g := gen.RandomTree(1, 1)
-	colors, err := ListStarForest24(g, nil, 1, 0.5, nil)
+	colors, err := ListStarForest24(context.Background(), g, nil, 1, 0.5, nil)
 	if err != nil || len(colors) != 0 {
 		t.Fatalf("colors=%v err=%v", colors, err)
 	}
@@ -119,7 +120,7 @@ func TestSplitColorsClustering(t *testing.T) {
 	k := 40 // pretend alpha=32 with eps=0.25: big palettes for splitting
 	palettes := fullPalette(g.M(), k)
 	var cost dist.Cost
-	split, err := SplitColors(g, palettes, SplitOptions{
+	split, err := SplitColors(context.Background(), g, palettes, SplitOptions{
 		Variant: SplitByClustering, Eps: 0.5, Alpha: 32, Seed: 3,
 		MinMain: 20, MinReserve: 2,
 	}, &cost)
@@ -155,7 +156,7 @@ func TestSplitColorsLLL(t *testing.T) {
 	g := gen.SimpleForestUnion(150, 4, 7)
 	k := 48
 	palettes := fullPalette(g.M(), k)
-	split, err := SplitColors(g, palettes, SplitOptions{
+	split, err := SplitColors(context.Background(), g, palettes, SplitOptions{
 		Variant: SplitByLLL, Eps: 0.5, Alpha: 40, Seed: 9,
 		ReserveProb: 0.35, MinMain: 16, MinReserve: 1,
 	}, nil)
@@ -173,7 +174,7 @@ func TestSplitColorsLLL(t *testing.T) {
 func TestSplitSideIsConsistent(t *testing.T) {
 	g := gen.Grid(5, 5)
 	palettes := fullPalette(g.M(), 10)
-	split, err := SplitColors(g, palettes, SplitOptions{Eps: 0.5, Alpha: 8, Seed: 1}, nil)
+	split, err := SplitColors(context.Background(), g, palettes, SplitOptions{Eps: 0.5, Alpha: 8, Seed: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestListForestDecomposition(t *testing.T) {
 		}
 	}
 	var cost dist.Cost
-	res, err := ListForestDecomposition(g, LFDOptions{
+	res, err := ListForestDecomposition(context.Background(), g, LFDOptions{
 		Palettes: palettes, Alpha: 24, Eps: 0.5, Seed: 4,
 	}, &cost)
 	if err != nil {
@@ -221,10 +222,10 @@ func TestListForestDecomposition(t *testing.T) {
 
 func TestListForestDecompositionValidation(t *testing.T) {
 	g := gen.Grid(4, 4)
-	if _, err := ListForestDecomposition(g, LFDOptions{Alpha: 0, Eps: 0.5}, nil); err == nil {
+	if _, err := ListForestDecomposition(context.Background(), g, LFDOptions{Alpha: 0, Eps: 0.5}, nil); err == nil {
 		t.Fatal("Alpha=0 accepted")
 	}
-	if _, err := ListForestDecomposition(g, LFDOptions{Alpha: 2, Eps: 0.5, Palettes: [][]int32{{1}}}, nil); err == nil {
+	if _, err := ListForestDecomposition(context.Background(), g, LFDOptions{Alpha: 2, Eps: 0.5, Palettes: [][]int32{{1}}}, nil); err == nil {
 		t.Fatal("palette length mismatch accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -210,11 +211,19 @@ func (e *Engine) Bits() int64 { return e.bits }
 // (returning maxRounds and an error wrapping ErrMaxRounds). An engine
 // over the empty graph halts immediately in 0 rounds.
 //
+// ctx is checked between rounds: when it is canceled or past its
+// deadline, Run stops before the next round and returns the rounds
+// already executed together with ctx.Err() (unwrapped, so callers can
+// errors.Is against context.Canceled / DeadlineExceeded). In parallel
+// mode the persistent shard workers are shut down before Run returns,
+// exactly as on a normal exit.
+//
 // All per-run scratch — mailboxes, out buffers, worker results — is
 // allocated before the first round and reused by swap, so steady-state
-// rounds perform zero heap allocations (given programs that use Env.Out
-// and allocation-free messages; see the package benchmark).
-func (e *Engine) Run(maxRounds int) (int, error) {
+// rounds perform zero heap allocations, including the per-round ctx
+// check (given programs that use Env.Out and allocation-free messages;
+// see the package benchmark).
+func (e *Engine) Run(ctx context.Context, maxRounds int) (int, error) {
 	n := len(e.progs)
 	if n == 0 {
 		return 0, nil
@@ -229,6 +238,9 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 	workers = len(bounds) - 1
 	if workers == 1 { // stay on the calling goroutine
 		for round := 0; round < maxRounds; round++ {
+			if err := ctx.Err(); err != nil {
+				return round, err
+			}
 			allDone := e.stepRange(round, 0, n)
 			e.inbox, e.outbox = e.outbox, e.inbox
 			if allDone {
@@ -268,6 +280,9 @@ func (e *Engine) Run(maxRounds int) (int, error) {
 		}
 	}()
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return round, err
+		}
 		wg.Add(workers)
 		for _, c := range work {
 			c <- round

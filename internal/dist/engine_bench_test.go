@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestEngineSteadyRoundsZeroAlloc(t *testing.T) {
 					runtime.GC()
 					var m0, m1 runtime.MemStats
 					runtime.ReadMemStats(&m0)
-					eng.Run(rounds) // returns ErrMaxRounds by design; rounds still execute
+					eng.Run(context.Background(), rounds) // returns ErrMaxRounds by design; rounds still execute
 					runtime.ReadMemStats(&m1)
 					if d := m1.Mallocs - m0.Mallocs; d < best {
 						best = d
@@ -106,7 +107,7 @@ func BenchmarkEngineSteadyRounds(b *testing.B) {
 			eng.SetMode(bc.mode)
 			b.ReportAllocs()
 			b.ResetTimer()
-			if _, err := eng.Run(b.N + 1); err != nil {
+			if _, err := eng.Run(context.Background(), b.N+1); err != nil {
 				b.Fatal(err)
 			}
 		})

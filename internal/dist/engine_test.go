@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -27,7 +28,7 @@ func TestEngineHaltsWhenAllDone(t *testing.T) {
 	eng := dist.NewEngine(g, func(v int32) dist.Program {
 		return &countdown{left: int(v) % 4}
 	})
-	rounds, err := eng.Run(100)
+	rounds, err := eng.Run(context.Background(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestEngineMaxRoundsError(t *testing.T) {
 	eng := dist.NewEngine(g, func(v int32) dist.Program {
 		return &countdown{left: 1 << 30} // never halts
 	})
-	rounds, err := eng.Run(17)
+	rounds, err := eng.Run(context.Background(), 17)
 	if err == nil {
 		t.Fatal("expected maxRounds error")
 	}
@@ -60,7 +61,7 @@ func TestEngineEmptyGraph(t *testing.T) {
 		t.Fatal("factory called on empty graph")
 		return nil
 	})
-	rounds, err := eng.Run(10)
+	rounds, err := eng.Run(context.Background(), 10)
 	if err != nil || rounds != 0 {
 		t.Fatalf("Run = (%d, %v), want (0, nil)", rounds, err)
 	}
@@ -113,7 +114,7 @@ func TestEnginePerPortDeliveryOnParallelEdges(t *testing.T) {
 		progs[v] = &portEcho{g: g, v: v}
 		return progs[v]
 	})
-	if _, err := eng.Run(10); err != nil {
+	if _, err := eng.Run(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	for v, p := range progs {
@@ -160,7 +161,7 @@ func TestEngineTrafficAccounting(t *testing.T) {
 	eng := dist.NewEngine(g, func(v int32) dist.Program {
 		return &oneShot{sized: v == 0}
 	})
-	if _, err := eng.Run(10); err != nil {
+	if _, err := eng.Run(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Messages() != 2 {
@@ -246,7 +247,7 @@ func runGossip(t *testing.T, g *graph.Graph, seed uint64, mode dist.Mode) runRes
 		return progs[v]
 	})
 	eng.SetMode(mode)
-	rounds, err := eng.Run(1000)
+	rounds, err := eng.Run(context.Background(), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,12 +306,58 @@ func TestEnginePanicReachesCaller(t *testing.T) {
 		eng.SetMode(mode)
 		recovered := func() (r any) {
 			defer func() { r = recover() }()
-			eng.Run(10)
+			eng.Run(context.Background(), 10)
 			return nil
 		}()
 		if recovered == nil {
 			t.Fatalf("mode %v: Step panic did not reach the Run caller", mode)
 		}
+	}
+}
+
+// TestEngineRunCanceled checks the context contract in both execution
+// modes: a pre-canceled context stops the run before round 0, a context
+// canceled mid-run stops it within one round boundary, the returned
+// error is the bare ctx.Err(), and a subsequent Run-shaped workload on a
+// fresh engine still behaves (i.e. the canceled run's shard workers shut
+// down cleanly rather than leaking into the next).
+func TestEngineRunCanceled(t *testing.T) {
+	g := gen.MultiplyEdges(gen.Gnm(3000, 9000, 5), 2) // above autoThreshold
+	for _, mode := range []dist.Mode{dist.Sequential, dist.Parallel} {
+		eng := dist.NewEngine(g, func(v int32) dist.Program {
+			return &countdown{left: 1 << 30} // never halts on its own
+		})
+		eng.SetMode(mode)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rounds, err := eng.Run(ctx, 1000)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode %v: err = %v, want context.Canceled", mode, err)
+		}
+		if rounds != 0 {
+			t.Fatalf("mode %v: %d rounds ran under a pre-canceled context", mode, rounds)
+		}
+
+		// Cancel concurrently with the run: the engine must stop at some
+		// round boundary < maxRounds and report ctx.Err().
+		eng2 := dist.NewEngine(g, func(v int32) dist.Program {
+			return &countdown{left: 1 << 30}
+		})
+		eng2.SetMode(mode)
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rounds, err := eng2.Run(ctx2, 1<<30)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("mode %v: mid-run err = %v, want context.Canceled", mode, err)
+			}
+			if rounds >= 1<<30 {
+				t.Errorf("mode %v: run consumed the whole budget despite cancellation", mode)
+			}
+		}()
+		cancel2()
+		<-done
 	}
 }
 

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -289,7 +290,7 @@ func (m *Maintainer) rebuild() {
 		alpha = d
 	}
 	for attempt := 0; attempt < 4; attempt++ {
-		res, err := core.ForestDecomposition(g, core.FDOptions{
+		res, err := core.ForestDecomposition(context.Background(), g, core.FDOptions{
 			Alpha: alpha,
 			Eps:   m.cfg.Eps,
 			Seed:  m.cfg.Seed + uint64(m.stats.Rebuilds)*1000 + uint64(attempt),

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"testing"
 
 	"nwforest/internal/core"
@@ -13,7 +14,7 @@ import (
 func startMaintainer(t *testing.T, n, alpha int, seed uint64, cfg Config) *Maintainer {
 	t.Helper()
 	g := gen.ForestUnion(n, alpha, seed)
-	res, err := core.ForestDecomposition(g, core.FDOptions{Alpha: alpha, Eps: 0.5, Seed: seed}, nil)
+	res, err := core.ForestDecomposition(context.Background(), g, core.FDOptions{Alpha: alpha, Eps: 0.5, Seed: seed}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestForestCountNearRebuild(t *testing.T) {
 	if err := verify.ForestDecomposition(g, colors, k); err != nil {
 		t.Fatal(err)
 	}
-	rebuilt, err := core.ForestDecomposition(g, core.FDOptions{Alpha: alpha + 2, Eps: 0.5, Seed: 5}, nil)
+	rebuilt, err := core.ForestDecomposition(context.Background(), g, core.FDOptions{Alpha: alpha + 2, Eps: 0.5, Seed: 5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

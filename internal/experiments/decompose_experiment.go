@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"nwforest/internal/core"
+	"nwforest/internal/algo"
 	"nwforest/internal/dist"
 	"nwforest/internal/gen"
 	"nwforest/internal/verify"
@@ -11,46 +11,57 @@ import (
 
 // DecomposeE2E is the end-to-end serving hot path as a tracked
 // experiment: one full (1+eps)a forest decomposition of a multigraph
-// forest union — the same call an nwserve worker executes per job — with
-// the LOCAL rounds and CONGEST traffic of the simulated protocol
-// reported as metrics. It anchors the BENCH_*.json trajectory: rounds
-// and msgs are deterministic for a given seed, so any drift is a real
-// behavior change, not noise.
+// forest union — dispatched through the algorithm registry, the same
+// path an nwserve worker executes per job — with the LOCAL rounds and
+// CONGEST traffic of the simulated protocol reported as metrics. It
+// anchors the BENCH_*.json trajectory: rounds and msgs are
+// deterministic for a given seed, so any drift is a real behavior
+// change, not noise.
 func DecomposeE2E(cfg Config) (*Table, error) {
 	n := 2000 * cfg.scale()
 	alpha := 4
 	g := gen.ForestUnion(n, alpha, cfg.Seed)
-	var cost dist.Cost
 	// The sampled CUT rule is the small-alpha serving regime and the one
 	// that runs a genuine dist.Engine peel (the 3-alpha orientation), so
 	// the msgs/bits metrics track real simulated-network traffic.
-	res, err := core.ForestDecomposition(g, core.FDOptions{
-		Alpha: alpha,
-		Eps:   0.5,
-		Seed:  cfg.Seed,
-		Rule:  core.CutSampled,
-	}, &cost)
+	res, err := runAlgo(g, algo.Request{Algorithm: "decompose", Options: algo.Options{
+		Alpha:   alpha,
+		Eps:     0.5,
+		Seed:    cfg.Seed,
+		Sampled: true,
+	}})
 	if err != nil {
 		return nil, err
 	}
-	if err := verify.ForestDecomposition(g, res.Colors, res.NumColors); err != nil {
+	d := res.Decomposition
+	if err := verify.ForestDecomposition(g, d.Colors, d.NumForests); err != nil {
 		return nil, fmt.Errorf("decompose experiment produced invalid result: %w", err)
 	}
+	msgs, bits := trafficOf(d.Phases)
 	t := &Table{
 		ID:     "E2E",
 		Title:  "end-to-end (1+eps)a forest decomposition (serving hot path)",
 		Header: []string{"n", "m", "alpha", "forests", "rounds", "msgs", "leftover"},
 		Rows: [][]string{{
-			itoa(g.N()), itoa(g.M()), itoa(alpha), itoa(res.NumColors),
-			itoa(cost.Rounds()), fmt.Sprintf("%d", cost.Messages()), itoa(res.LeftoverEdges),
+			itoa(g.N()), itoa(g.M()), itoa(alpha), itoa(d.NumForests),
+			itoa(d.Rounds), fmt.Sprintf("%d", msgs), itoa(d.LeftoverEdges),
 		}},
 		Metrics: map[string]float64{
-			"forests":  float64(res.NumColors),
-			"rounds":   float64(cost.Rounds()),
-			"msgs":     float64(cost.Messages()),
-			"bits":     float64(cost.Bits()),
-			"leftover": float64(res.LeftoverEdges),
+			"forests":  float64(d.NumForests),
+			"rounds":   float64(d.Rounds),
+			"msgs":     float64(msgs),
+			"bits":     float64(bits),
+			"leftover": float64(d.LeftoverEdges),
 		},
 	}
 	return t, nil
+}
+
+// trafficOf sums the CONGEST counters over a phase breakdown.
+func trafficOf(phases []dist.Phase) (msgs, bits int64) {
+	for _, p := range phases {
+		msgs += p.Messages
+		bits += p.Bits
+	}
+	return msgs, bits
 }

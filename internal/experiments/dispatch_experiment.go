@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"nwforest/internal/algo"
+	"nwforest/internal/gen"
+)
+
+// DispatchOverhead measures the registry dispatch prologue — lookup,
+// validation, normalization, cache-key-relevant defaulting — that every
+// nwforest.Run / nwserve job now pays instead of a hard-coded switch.
+// The contract is zero heap allocations per dispatch; the experiment
+// runs enough prologues that even one allocation per dispatch would
+// multiply into an unmissable allocs/op regression under the benchcmp
+// gate, and additionally reports the measured per-dispatch allocation
+// count as a metric (expected 0). One real tiny run closes the loop to
+// prove the dispatched path executes.
+func DispatchOverhead(cfg Config) (*Table, error) {
+	const iters = 200_000
+	reqs := []algo.Request{
+		{Algorithm: "decompose", Options: algo.Options{Alpha: 4, Eps: 0.5, Seed: cfg.Seed}},
+		{Algorithm: "list", Options: algo.Options{Alpha: 16, Eps: 0.5, Seed: cfg.Seed}},
+		{Algorithm: "be", Options: algo.Options{Alpha: 4, Eps: 0.5}},
+		{Algorithm: "stars-list24", AlphaStar: 3, Options: algo.Options{Eps: 0.5}},
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var sink int
+	for i := 0; i < iters; i++ {
+		req := reqs[i%len(reqs)]
+		d, ok := algo.Lookup(req.Algorithm)
+		if !ok {
+			return nil, fmt.Errorf("dispatch: lookup failed for %q", req.Algorithm)
+		}
+		if err := algo.ValidateRequest(req); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		n := d.Normalize(req)
+		sink += n.PaletteSize + n.AlphaStar
+	}
+	runtime.ReadMemStats(&m1)
+	perDispatch := float64(m1.Mallocs-m0.Mallocs) / iters
+	if sink == 0 {
+		return nil, fmt.Errorf("dispatch: normalization produced no defaults")
+	}
+
+	// One real dispatched run: the prologue above must lead somewhere.
+	g := gen.ForestUnion(200*cfg.scale(), 3, cfg.Seed)
+	res, err := algo.Run(context.Background(), g, algo.Request{Algorithm: "decompose",
+		Options: algo.Options{Alpha: 3, Eps: 0.5, Seed: cfg.Seed}})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "DISPATCH",
+		Title:  "registry dispatch prologue overhead (target: 0 allocs/dispatch)",
+		Header: []string{"dispatches", "allocs/dispatch", "ok", "e2e-forests"},
+		Rows: [][]string{{
+			itoa(iters), fmt.Sprintf("%.4f", perDispatch),
+			check(perDispatch < 0.001), itoa(res.Decomposition.NumForests),
+		}},
+		Metrics: map[string]float64{
+			"allocs_per_dispatch": perDispatch,
+			"e2e_forests":         float64(res.Decomposition.NumForests),
+		},
+	}
+	return t, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ func DynamicChurn(cfg Config) (*Table, error) {
 	T := 500 * scale
 
 	g := gen.ForestUnion(n, alpha, cfg.Seed)
-	res, err := core.ForestDecomposition(g, core.FDOptions{Alpha: alpha, Eps: eps, Seed: cfg.Seed}, nil)
+	res, err := core.ForestDecomposition(context.Background(), g, core.FDOptions{Alpha: alpha, Eps: eps, Seed: cfg.Seed}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +95,7 @@ func DynamicChurn(cfg Config) (*Table, error) {
 	var kFull int
 	rebuildStart := time.Now()
 	for i := 0; i < rebuildSamples; i++ {
-		full, err := core.ForestDecomposition(final, core.FDOptions{
+		full, err := core.ForestDecomposition(context.Background(), final, core.FDOptions{
 			Alpha: rebuildAlpha, Eps: eps, Seed: cfg.Seed + uint64(i),
 		}, nil)
 		if err != nil {

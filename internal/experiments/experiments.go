@@ -66,6 +66,7 @@ var Registry = []Runner{
 	{"exact", "Gabow-Westermann exact arboricity ground truth", ExactGW},
 	{"decompose", "End-to-end decomposition hot path (rounds, msgs, traffic)", DecomposeE2E},
 	{"dynamic", "Dynamic churn: incremental maintenance vs per-mutation rebuild", DynamicChurn},
+	{"dispatch", "Registry dispatch prologue: 0 allocs per nwforest.Run request", DispatchOverhead},
 }
 
 // Find returns the runner with the given name, or nil.

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"nwforest/internal/algo"
 	"nwforest/internal/core"
-	"nwforest/internal/dist"
 	"nwforest/internal/exact"
 	"nwforest/internal/forest"
 	"nwforest/internal/gen"
@@ -16,6 +17,13 @@ import (
 	"nwforest/internal/rng"
 	"nwforest/internal/verify"
 )
+
+// runAlgo dispatches one algorithm run through the registry — the same
+// path an nwserve worker executes per job — so the experiments measure
+// the served configurations, not hand-rolled call sites.
+func runAlgo(g *graph.Graph, req algo.Request) (*algo.Result, error) {
+	return algo.Run(context.Background(), g, req)
+}
 
 // Table1 regenerates the paper's Table 1: for each algorithm/regime row
 // we run the corresponding configuration and report measured excess
@@ -49,28 +57,24 @@ func Table1(cfg Config) (*Table, error) {
 		} else {
 			g = gen.SimpleForestUnion(n, r.alpha, cfg.Seed+uint64(i))
 		}
-		rule := core.CutModDepth
-		if r.sampled {
-			rule = core.CutSampled
-		}
-		var cost dist.Cost
-		res, err := core.ForestDecomposition(g, core.FDOptions{
-			Alpha: r.alpha, Eps: r.eps, Seed: cfg.Seed + uint64(i), Rule: rule,
-			ReduceDiameter: r.reduce,
-		}, &cost)
+		res, err := runAlgo(g, algo.Request{Algorithm: "decompose", Options: algo.Options{
+			Alpha: r.alpha, Eps: r.eps, Seed: cfg.Seed + uint64(i),
+			Sampled: r.sampled, ReduceDiameter: r.reduce,
+		}})
 		if err != nil {
 			return nil, fmt.Errorf("table1 row %q: %w", r.label, err)
 		}
-		valid := verify.ForestDecomposition(g, res.Colors, res.NumColors) == nil
+		d := res.Decomposition
+		valid := verify.ForestDecomposition(g, d.Colors, d.NumForests) == nil
 		target := int(math.Ceil((1 + r.eps) * float64(r.alpha)))
 		be := int(2.5 * float64(r.alpha))
 		t.Rows = append(t.Rows, []string{
 			r.label, itoa(g.N()), itoa(r.alpha), f2(r.eps),
-			itoa(res.NumColors), itoa(target), itoa(be),
-			itoa(cost.Rounds()), itoa(res.Diameter), check(valid),
+			itoa(d.NumForests), itoa(target), itoa(be),
+			itoa(d.Rounds), itoa(d.Diameter), check(valid),
 		})
-		t.Metrics["forests_"+itoa(i)] = float64(res.NumColors)
-		t.Metrics["rounds_"+itoa(i)] = float64(cost.Rounds())
+		t.Metrics["forests_"+itoa(i)] = float64(d.NumForests)
+		t.Metrics["rounds_"+itoa(i)] = float64(d.Rounds)
 	}
 	return t, nil
 }
@@ -270,22 +274,20 @@ func Corollary11(cfg Config) (*Table, error) {
 	var normalized []float64
 	for _, eps := range []float64{1.0, 0.5, 0.25, 0.125} {
 		g := gen.ForestUnion(n, alpha, cfg.Seed+21)
-		var cost dist.Cost
-		res, err := core.ForestDecomposition(g, core.FDOptions{
-			Alpha: alpha, Eps: eps, Seed: cfg.Seed, ReduceDiameter: true,
-		}, &cost)
+		res, err := runAlgo(g, algo.Request{Algorithm: "orient", Options: algo.Options{
+			Alpha: alpha, Eps: eps, Seed: cfg.Seed,
+		}})
 		if err != nil {
 			return nil, fmt.Errorf("corollary11: %w", err)
 		}
-		o := orient.FromForestDecomposition(g, res.Colors, &cost)
-		outDeg := verify.MaxOutDegree(g, o)
-		rounds := cost.Rounds()
-		normalized = append(normalized, float64(rounds)*eps)
+		o := res.Orientation
+		target := int(math.Ceil((1+eps)*float64(alpha))) + 2
+		normalized = append(normalized, float64(o.Rounds)*eps)
 		t.Rows = append(t.Rows, []string{
-			f2(eps), itoa(outDeg), itoa(res.NumColors),
-			itoa(rounds), f2(float64(rounds) * eps),
+			f2(eps), itoa(o.MaxOutDegree), itoa(target),
+			itoa(o.Rounds), f2(float64(o.Rounds) * eps),
 		})
-		t.Metrics["rounds_eps_"+f2(eps)] = float64(rounds)
+		t.Metrics["rounds_eps_"+f2(eps)] = float64(o.Rounds)
 	}
 	// Linear dependence: rounds*eps should stay within a constant factor.
 	ratio := normalized[len(normalized)-1] / normalized[0]
@@ -308,20 +310,21 @@ func PropC1(cfg Config) (*Table, error) {
 	}
 	for _, eps := range []float64{1.0, 0.5, 0.25} {
 		g := gen.LineMultigraph(ell, alpha)
-		res, err := core.ForestDecomposition(g, core.FDOptions{
+		res, err := runAlgo(g, algo.Request{Algorithm: "decompose", Options: algo.Options{
 			Alpha: alpha, Eps: eps, Seed: cfg.Seed + 31, ReduceDiameter: true,
-		}, nil)
+		}})
 		if err != nil {
 			return nil, fmt.Errorf("propC1: %w", err)
 		}
+		d := res.Decomposition
 		lower := int(1 / (8 * eps))
 		upper := int(math.Ceil(8 / eps))
-		ok := res.Diameter >= lower && res.Diameter <= 2*upper
+		ok := d.Diameter >= lower && d.Diameter <= 2*upper
 		t.Rows = append(t.Rows, []string{
-			f2(eps), itoa(res.NumColors), itoa(res.Diameter),
+			f2(eps), itoa(d.NumForests), itoa(d.Diameter),
 			itoa(lower), itoa(upper), check(ok),
 		})
-		t.Metrics["diam_eps_"+f2(eps)] = float64(res.Diameter)
+		t.Metrics["diam_eps_"+f2(eps)] = float64(d.Diameter)
 	}
 	return t, nil
 }
@@ -339,25 +342,17 @@ func BaselineBE(cfg Config) (*Table, error) {
 	for _, n := range []int{500, 2000, 8000} {
 		n *= cfg.scale()
 		g := gen.ForestUnion(n, alpha, cfg.Seed+41)
-		var cost dist.Cost
-		hp, err := hpartition.Partition(g, hpartition.Threshold(alpha, eps), 16*n+64, &cost)
+		res, err := runAlgo(g, algo.Request{Algorithm: "be",
+			AlphaStar: alpha, Options: algo.Options{Eps: eps}})
 		if err != nil {
 			return nil, fmt.Errorf("baseline: %w", err)
 		}
-		colors, err := hpartition.ForestDecomposition(g, hp, &cost)
-		if err != nil {
-			return nil, err
-		}
-		if err := verify.ForestDecomposition(g, colors, hp.T); err != nil {
-			return nil, err
-		}
-		used := int(verify.MaxColor(colors)) + 1
-		rounds := cost.Rounds()
+		d := res.Decomposition
 		t.Rows = append(t.Rows, []string{
-			itoa(n), itoa(used), itoa(hpartition.Threshold(alpha, eps)),
-			itoa(rounds), f2(float64(rounds) / math.Log2(float64(n))),
+			itoa(n), itoa(d.NumForests), itoa(hpartition.Threshold(alpha, eps)),
+			itoa(d.Rounds), f2(float64(d.Rounds) / math.Log2(float64(n))),
 		})
-		t.Metrics["rounds_n_"+itoa(n)] = float64(rounds)
+		t.Metrics["rounds_n_"+itoa(n)] = float64(d.Rounds)
 	}
 	return t, nil
 }

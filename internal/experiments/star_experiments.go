@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,7 +30,7 @@ func Theorem21(cfg Config) (*Table, error) {
 		g := gen.ForestUnion(n, alphaStar, cfg.Seed+51)
 		var cost dist.Cost
 		thr := hpartition.Threshold(alphaStar, eps)
-		hp, err := hpartition.Partition(g, thr, 16*n+64, &cost)
+		hp, err := hpartition.Partition(context.Background(), g, thr, 16*n+64, &cost)
 		if err != nil {
 			return nil, fmt.Errorf("theorem21: %w", err)
 		}
@@ -86,7 +87,7 @@ func Theorem23(cfg Config) (*Table, error) {
 			}
 		}
 		var cost dist.Cost
-		colors, err := core.ListStarForest24(c.g, palettes, alphaStar, 1.0, &cost)
+		colors, err := core.ListStarForest24(context.Background(), c.g, palettes, alphaStar, 1.0, &cost)
 		if err != nil {
 			return nil, fmt.Errorf("theorem23 %s: %w", c.name, err)
 		}
@@ -126,7 +127,7 @@ func Theorem49(cfg Config) (*Table, error) {
 			so.MinMain = 12
 			so.MinReserve = 1
 		}
-		split, err := core.SplitColors(g, palettes, so, &cost)
+		split, err := core.SplitColors(context.Background(), g, palettes, so, &cost)
 		if err != nil {
 			return nil, fmt.Errorf("theorem49 variant %d: %w", variant, err)
 		}
@@ -170,7 +171,7 @@ func Theorem410(cfg Config) (*Table, error) {
 		}
 	}
 	var cost dist.Cost
-	res, err := core.ListForestDecomposition(g, core.LFDOptions{
+	res, err := core.ListForestDecomposition(context.Background(), g, core.LFDOptions{
 		Palettes: palettes, Alpha: alpha, Eps: eps, Seed: cfg.Seed + 83,
 	}, &cost)
 	if err != nil {
@@ -209,7 +210,7 @@ func Theorem54(cfg Config) (*Table, error) {
 	alpha, eps := 8, 0.5
 	g := gen.SimpleForestUnion(n, alpha, cfg.Seed+91)
 	var cost dist.Cost
-	res, err := core.StarForestDecomposition(g, core.SFDOptions{
+	res, err := core.StarForestDecomposition(context.Background(), g, core.SFDOptions{
 		Alpha: alpha + 1, Eps: eps, Seed: cfg.Seed + 93,
 	}, &cost)
 	if err != nil {
@@ -234,7 +235,7 @@ func Theorem54(cfg Config) (*Table, error) {
 		}
 	}
 	var costL dist.Cost
-	resL, err := core.StarForestDecomposition(gl, core.SFDOptions{
+	resL, err := core.StarForestDecomposition(context.Background(), gl, core.SFDOptions{
 		Alpha: alphaL, Eps: eps, Seed: cfg.Seed + 97, Palettes: palettes, SelectProb: 0.6,
 	}, &costL)
 	if err != nil {
@@ -273,13 +274,13 @@ func Corollary12(cfg Config) (*Table, error) {
 	for _, c := range cases {
 		var colors []int32
 		var numColors int
-		res, err := core.StarForestDecomposition(c.g, core.SFDOptions{
+		res, err := core.StarForestDecomposition(context.Background(), c.g, core.SFDOptions{
 			Alpha: c.alpha, Eps: 0.5, Seed: cfg.Seed + 99,
 		}, nil)
 		if err != nil {
 			// Tiny alpha (grid): Section 5 constants do not apply; use the
 			// H-partition 3t-SFD fallback, still within the 2a... 6a regime.
-			hp, err2 := hpartition.Partition(c.g, hpartition.Threshold(c.alpha, 0.5), 16*c.g.N()+64, nil)
+			hp, err2 := hpartition.Partition(context.Background(), c.g, hpartition.Threshold(c.alpha, 0.5), 16*c.g.N()+64, nil)
 			if err2 != nil {
 				return nil, fmt.Errorf("corollary12 %s: %v / %v", c.name, err, err2)
 			}

@@ -11,6 +11,7 @@
 package hpartition
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -74,8 +75,10 @@ func (p *peelProg) Step(env *dist.Env, recv []dist.Message) ([]dist.Message, boo
 
 // Partition peels g with threshold t. It fails if the graph does not
 // empty within maxRounds rounds (t below the graph's peeling number).
-// The consumed rounds are charged to cost.
-func Partition(g *graph.Graph, t, maxRounds int, cost *dist.Cost) (*Result, error) {
+// The consumed rounds are charged to cost. Cancellation of ctx stops
+// the peel at a round boundary and returns ctx.Err() unwrapped, so
+// doubling-probe callers can tell "t too small" from "caller gave up".
+func Partition(ctx context.Context, g *graph.Graph, t, maxRounds int, cost *dist.Cost) (*Result, error) {
 	if t < 0 {
 		return nil, fmt.Errorf("hpartition: negative threshold %d", t)
 	}
@@ -84,12 +87,15 @@ func Partition(g *graph.Graph, t, maxRounds int, cost *dist.Cost) (*Result, erro
 		progs[v] = &peelProg{t: t, remDeg: g.Degree(v)}
 		return progs[v]
 	})
-	rounds, err := eng.Run(maxRounds)
+	rounds, err := eng.Run(ctx, maxRounds)
 	// Charge before checking the error: a failed peel (e.g. a doubling
 	// probe in EstimateDegeneracy or recolorLeftover) still consumed its
 	// whole round budget and sent real messages on the simulated network.
 	cost.Charge(rounds, "hpartition/peel")
 	cost.ChargeMessages(eng.Messages(), eng.Bits(), "hpartition/peel")
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("hpartition: peeling stuck with t=%d: %w", t, err)
 	}
@@ -236,14 +242,19 @@ func StarForestDecomposition(g *graph.Graph, r *Result, cost *dist.Cost) ([]int3
 // O(log n / eps) rounds. This removes the paper's standing assumption
 // that alpha is globally known, at a factor-2 loss and an O(log^2 n)
 // round cost.
-func EstimateDegeneracy(g *graph.Graph, cost *dist.Cost) (int, error) {
+func EstimateDegeneracy(ctx context.Context, g *graph.Graph, cost *dist.Cost) (int, error) {
 	if g.N() == 0 {
 		return 0, nil
 	}
 	budget := 8*int(math.Ceil(math.Log2(float64(g.N()+2)))) + 16
 	for t := 1; ; t *= 2 {
-		if _, err := Partition(g, t, budget, cost); err == nil {
+		if _, err := Partition(ctx, g, t, budget, cost); err == nil {
 			return t, nil
+		}
+		// A canceled probe is not "t too small": stop doubling and
+		// surface the cancellation instead of an estimate failure.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, ctxErr
 		}
 		if t > g.N() {
 			return 0, fmt.Errorf("hpartition: estimate failed beyond t=%d", t)

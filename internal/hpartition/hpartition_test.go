@@ -1,6 +1,7 @@
 package hpartition
 
 import (
+	"context"
 	"testing"
 
 	"nwforest/internal/dist"
@@ -13,7 +14,7 @@ import (
 func mustPartition(t *testing.T, g *graph.Graph, thr int) *Result {
 	t.Helper()
 	var cost dist.Cost
-	res, err := Partition(g, thr, 4*g.N()+10, &cost)
+	res, err := Partition(context.Background(), g, thr, 4*g.N()+10, &cost)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,18 +69,18 @@ func TestPartitionForestUnion(t *testing.T) {
 
 func TestPartitionStuck(t *testing.T) {
 	g := gen.Clique(10) // min degree 9; threshold 3 can never peel
-	if _, err := Partition(g, 3, 50, nil); err == nil {
+	if _, err := Partition(context.Background(), g, 3, 50, nil); err == nil {
 		t.Fatal("expected peeling to fail on K10 with t=3")
 	}
 }
 
 func TestPartitionEmptyAndTiny(t *testing.T) {
 	g := graph.MustNew(0, nil)
-	if _, err := Partition(g, 1, 10, nil); err != nil {
+	if _, err := Partition(context.Background(), g, 1, 10, nil); err != nil {
 		t.Fatal(err)
 	}
 	g = graph.MustNew(1, nil)
-	res, err := Partition(g, 0, 10, nil)
+	res, err := Partition(context.Background(), g, 0, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestEstimateDegeneracy(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var cost dist.Cost
-			est, err := EstimateDegeneracy(tc.g, &cost)
+			est, err := EstimateDegeneracy(context.Background(), tc.g, &cost)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -323,7 +324,7 @@ func TestEstimateDegeneracy(t *testing.T) {
 }
 
 func TestEstimateDegeneracyEmpty(t *testing.T) {
-	if est, err := EstimateDegeneracy(graph.MustNew(0, nil), nil); err != nil || est != 0 {
+	if est, err := EstimateDegeneracy(context.Background(), graph.MustNew(0, nil), nil); err != nil || est != 0 {
 		t.Fatalf("est=%d err=%v", est, err)
 	}
 }

@@ -11,6 +11,7 @@
 package lll
 
 import (
+	"context"
 	"fmt"
 
 	"nwforest/internal/dist"
@@ -34,13 +35,18 @@ type Instance struct {
 
 // Solve runs parallel Moser-Tardos resampling until no bad event holds,
 // or maxIters iterations elapse (then it returns an error). It returns
-// the number of iterations used and charges rounds to cost.
-func Solve(inst Instance, maxIters int, cost *dist.Cost) (int, error) {
+// the number of iterations used and charges rounds to cost. ctx is
+// checked once per resampling iteration; on cancellation Solve stops
+// and returns ctx.Err() unwrapped.
+func Solve(ctx context.Context, inst Instance, maxIters int, cost *dist.Cost) (int, error) {
 	radius := inst.EventRadius
 	if radius < 1 {
 		radius = 1
 	}
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return iter, err
+		}
 		violated := violatedEvents(inst)
 		cost.Charge(radius, "lll/iteration")
 		if len(violated) == 0 {

@@ -1,6 +1,7 @@
 package lll
 
 import (
+	"context"
 	"testing"
 
 	"nwforest/internal/dist"
@@ -60,7 +61,7 @@ func TestSolveHypergraphColoring(t *testing.T) {
 	h := &hyper2col{edges: edges, colors: make([]bool, n), r: r}
 	// All-false start: every edge is monochromatic; the solver must fix all.
 	var cost dist.Cost
-	iters, err := Solve(h.instance(), 10000, &cost)
+	iters, err := Solve(context.Background(), h.instance(), 10000, &cost)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSolveAlreadySatisfied(t *testing.T) {
 		Bad:       func(int) bool { return false },
 		Resample:  func(int32) {},
 	}
-	iters, err := Solve(inst, 10, nil)
+	iters, err := Solve(context.Background(), inst, 10, nil)
 	if err != nil || iters != 0 {
 		t.Fatalf("iters=%d err=%v, want 0, nil", iters, err)
 	}
@@ -98,7 +99,7 @@ func TestSolveImpossibleTimesOut(t *testing.T) {
 		Bad:       func(int) bool { return true }, // unfixable
 		Resample:  func(int32) {},
 	}
-	if _, err := Solve(inst, 7, nil); err == nil {
+	if _, err := Solve(context.Background(), inst, 7, nil); err == nil {
 		t.Fatal("expected timeout error")
 	}
 }
@@ -124,7 +125,7 @@ func TestSolveResamplesOnlyIndependentSets(t *testing.T) {
 		inst.Resample(v)
 		bad = false
 	}
-	if _, err := Solve(wrapped, 5, nil); err != nil {
+	if _, err := Solve(context.Background(), wrapped, 5, nil); err != nil {
 		t.Fatal(err)
 	}
 	if count != 1 {

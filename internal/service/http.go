@@ -31,6 +31,10 @@ const maxUploadBytes = 256 << 20
 //	                        "delete": [edgeID,...]} applies the batch to
 //	                        graph {id} and returns the content-addressed
 //	                        child version (201)
+//	GET    /algorithms      registry metadata: names, required params and
+//	                        capability flags of every runnable algorithm,
+//	                        so clients discover the job surface instead
+//	                        of guessing it
 //	POST   /jobs            submit a JobSpec; 200 + done job on a cache
 //	                        hit, 202 + queued job otherwise, 503 when the
 //	                        queue is full
@@ -58,6 +62,9 @@ func NewHTTPHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /graphs/{id}/edges", func(w http.ResponseWriter, r *http.Request) {
 		handleMutateGraph(svc, w, r)
+	})
+	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": AlgorithmInfos()})
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmitJob(svc, w, r)

@@ -2,12 +2,11 @@ package service
 
 import (
 	"context"
-	"math"
-	"strconv"
 	"sync"
 	"time"
 
 	"nwforest"
+	"nwforest/internal/algo"
 )
 
 // JobState is the lifecycle state of a job.
@@ -62,99 +61,47 @@ type JobSpec struct {
 // ModeIncremental is the JobSpec.Mode value requesting warm-start repair.
 const ModeIncremental = "incremental"
 
+// request converts the spec into the registry's Request form; Mode and
+// TimeoutMillis are service-level concerns that stay behind.
+func (sp JobSpec) request() algo.Request {
+	return algo.Request{
+		Algorithm:   sp.Algorithm,
+		Options:     sp.Options,
+		AlphaStar:   sp.AlphaStar,
+		PaletteSize: sp.PaletteSize,
+	}
+}
+
+// effectiveMode is the normalized Mode: "" unless the spec genuinely
+// requests an incremental run of an algorithm whose descriptor supports
+// warm-start repair ("full" is the explicit spelling of the default).
+func (sp JobSpec) effectiveMode() string {
+	if sp.Mode != ModeIncremental {
+		return ""
+	}
+	if d, ok := algo.Lookup(sp.Algorithm); !ok || !d.Caps.Incremental {
+		return ""
+	}
+	return ModeIncremental
+}
+
 // CacheKey canonicalizes the spec into the result-cache key. Two specs
-// share a key exactly when they denote the same computation: the key is
-// built from the normalized spec, so parameters the selected algorithm
-// ignores, values that merely spell out a default, and TimeoutMillis
-// (which bounds the run but does not change the result) never split the
-// cache.
+// share a key exactly when they denote the same computation: the
+// algorithm+parameter portion is the descriptor's canonical contribution
+// (algo.CacheKey, built from the normalized request), so parameters the
+// selected algorithm ignores, values that merely spell out a default,
+// and TimeoutMillis (which bounds the run but does not change the
+// result) never split the cache. The graph identity and the
+// service-level mode tag frame the descriptor's portion; the rendering
+// is byte-identical to the pre-registry format, so existing caches stay
+// valid.
 func (sp JobSpec) CacheKey() string {
-	n := sp.normalized()
-	return n.GraphID + "|" + n.Algorithm + "|" + n.Options.Key() +
-		",alphaStar=" + strconv.Itoa(n.AlphaStar) +
-		",palette=" + strconv.Itoa(n.PaletteSize) +
-		",mode=" + n.Mode
+	return sp.GraphID + "|" + algo.CacheKey(sp.request()) + ",mode=" + sp.effectiveMode()
 }
 
-// normalized zeroes every parameter the spec's algorithm ignores and
-// materializes defaulted ones, so equal computations get equal CacheKeys.
-// It must mirror exactly what RunSpec reads per algorithm: a field is
-// kept (or defaulted) here if and only if RunSpec passes it to the
-// library for this algorithm.
-func (sp JobSpec) normalized() JobSpec {
-	sp.TimeoutMillis = 0
-	// "full" is the explicit spelling of the default; only a decompose
-	// run in incremental mode computes anything different.
-	if sp.Mode != ModeIncremental || sp.Algorithm != "decompose" {
-		sp.Mode = ""
-	}
-	switch sp.Algorithm {
-	case "decompose": // full Options; no alphaStar/palette
-		sp.AlphaStar, sp.PaletteSize = 0, 0
-	case "list": // Options minus ReduceDiameter; palette defaulted
-		sp.AlphaStar = 0
-		sp.PaletteSize = sp.listPaletteSize()
-		sp.Options.ReduceDiameter = false
-	case "stars": // Alpha/Eps/Seed only
-		sp.AlphaStar, sp.PaletteSize = 0, 0
-		sp.Options.ReduceDiameter, sp.Options.Sampled = false, false
-	case "stars-list24": // AlphaStar/Eps; palette defaulted
-		sp.PaletteSize = sp.starsList24PaletteSize()
-		eps := sp.Options.Eps
-		sp.Options = nwforest.Options{Eps: eps}
-	case "be": // AlphaStar (defaulted from Alpha) and Eps
-		sp.AlphaStar = sp.beAlphaStar()
-		sp.PaletteSize = 0
-		eps := sp.Options.Eps
-		sp.Options = nwforest.Options{Eps: eps}
-	case "pseudo", "orient": // Alpha/Eps/Seed/Sampled; diameter forced on
-		sp.AlphaStar, sp.PaletteSize = 0, 0
-		sp.Options.ReduceDiameter = false
-	case "estimate-alpha", "arboricity": // parameterless
-		sp.AlphaStar, sp.PaletteSize = 0, 0
-		sp.Options = nwforest.Options{}
-	}
-	return sp
-}
-
-// listPaletteSize is the palette size "list" runs with (Theorem 4.10
-// needs ceil((1+eps)*alpha) colors per palette).
-func (sp JobSpec) listPaletteSize() int {
-	if sp.PaletteSize != 0 {
-		return sp.PaletteSize
-	}
-	return int(math.Ceil((1 + sp.Options.Eps) * float64(sp.Options.Alpha)))
-}
-
-// starsList24PaletteSize is the palette size "stars-list24" runs with
-// (Theorem 2.3's floor((4+eps)*alphaStar) - 1).
-func (sp JobSpec) starsList24PaletteSize() int {
-	if sp.PaletteSize != 0 {
-		return sp.PaletteSize
-	}
-	return int(math.Floor((4+sp.Options.Eps)*float64(sp.AlphaStar))) - 1
-}
-
-// beAlphaStar is the arboricity bound "be" runs with.
-func (sp JobSpec) beAlphaStar() int {
-	if sp.AlphaStar != 0 {
-		return sp.AlphaStar
-	}
-	return sp.Options.Alpha
-}
-
-// JobResult is the output of a completed job; exactly the fields relevant
-// to the requested algorithm are set.
-type JobResult struct {
-	// Decomposition is set by the decomposition algorithms.
-	Decomposition *nwforest.Decomposition `json:"decomposition,omitempty"`
-	// Orientation is set by "orient".
-	Orientation *nwforest.Orientation `json:"orientation,omitempty"`
-	// Alpha is set by "arboricity" (exact) and "estimate-alpha" (bound).
-	Alpha int `json:"alpha,omitempty"`
-	// Rounds is set by "estimate-alpha": the LOCAL rounds spent.
-	Rounds int `json:"rounds,omitempty"`
-}
+// JobResult is the output of a completed job: the registry's Result —
+// exactly the fields relevant to the requested algorithm are set.
+type JobResult = algo.Result
 
 // Job is one unit of work owned by the Service.
 type Job struct {

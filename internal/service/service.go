@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"nwforest"
+	"nwforest/internal/algo"
 	"nwforest/internal/dynamic"
 	"nwforest/internal/graph"
 )
@@ -98,17 +99,37 @@ var ErrClosed = errors.New("service: shutting down")
 // ingested; HTTP maps it to 404.
 var ErrUnknownGraph = errors.New("service: unknown graph")
 
-// Algorithms lists the job algorithm names in a stable order.
-var Algorithms = []string{
-	"decompose",      // Decompose: (1+eps)alpha forest decomposition
-	"list",           // DecomposeList with uniform full palettes
-	"stars",          // DecomposeStars: star-forest decomposition
-	"stars-list24",   // DecomposeStarsList24: (4+eps)alpha* list star forests
-	"be",             // DecomposeBE: Barenboim-Elkin baseline
-	"pseudo",         // DecomposePseudo: pseudo-forest decomposition
-	"orient",         // Orient: (1+eps)alpha orientation
-	"estimate-alpha", // EstimateAlpha: distributed arboricity bound
-	"arboricity",     // Arboricity: exact centralized reference
+// Algorithms lists the job algorithm names in the registry's stable
+// registration order.
+var Algorithms = algo.Names()
+
+// AlgorithmInfo is one GET /algorithms entry: the registry metadata a
+// client needs to discover the job surface instead of guessing it.
+type AlgorithmInfo struct {
+	Name string `json:"name"`
+	// Summary is a one-line human description.
+	Summary string `json:"summary"`
+	// Required lists the request fields a valid job must set, in JSON
+	// spelling; alternatives are joined with "|".
+	Required []string `json:"required,omitempty"`
+	// Capabilities are the descriptor's flags (seed/palette/alphaStar
+	// usage, incremental support, output shape).
+	Capabilities algo.Capabilities `json:"capabilities"`
+}
+
+// AlgorithmInfos returns the registry metadata served by GET /algorithms.
+func AlgorithmInfos() []AlgorithmInfo {
+	ds := algo.All()
+	out := make([]AlgorithmInfo, len(ds))
+	for i, d := range ds {
+		out[i] = AlgorithmInfo{
+			Name:         d.Name,
+			Summary:      d.Summary,
+			Required:     d.Required,
+			Capabilities: d.Caps,
+		}
+	}
+	return out
 }
 
 // Service is the serving subsystem. Create with New, stop with Close.
@@ -390,10 +411,13 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one job. The algorithm runs in its own goroutine so
-// that a cancellation or deadline releases the worker immediately; the
-// abandoned computation finishes in the background and its result is
-// discarded (the library's algorithms are not preemptible).
+// runJob executes one job. The job's context is threaded down into the
+// algorithm, so a cancellation or deadline interrupts the decomposition
+// mid-phase (the engine checks it every simulated round). The algorithm
+// still runs in its own goroutine so the worker is released immediately
+// even for the few centralized reference computations that are not
+// preemptible; an abandoned computation of that kind finishes in the
+// background and its result is discarded.
 func (s *Service) runJob(j *Job) {
 	if err := j.ctx.Err(); err != nil {
 		if j.finish(time.Now(), JobCanceled, nil, err.Error(), false) {
@@ -422,9 +446,14 @@ func (s *Service) runJob(j *Job) {
 	finished := false
 	select {
 	case out := <-ch:
-		if out.err != nil {
+		switch {
+		case out.err != nil && (errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded)):
+			// The algorithm observed the job context and aborted mid-phase:
+			// that is a cancellation, not an algorithm failure.
+			finished = j.finish(time.Now(), JobCanceled, nil, out.err.Error(), false)
+		case out.err != nil:
 			finished = j.finish(time.Now(), JobFailed, nil, out.err.Error(), false)
-		} else {
+		default:
 			s.cache.put(j.spec.CacheKey(), out.res)
 			finished = j.finish(time.Now(), JobDone, out.res, "", false)
 		}
@@ -492,14 +521,14 @@ func (s *Service) execute(ctx context.Context, spec JobSpec) (*JobResult, error)
 	if s.execHook != nil {
 		return s.execHook(ctx, g, spec)
 	}
-	if spec.normalized().Mode == ModeIncremental {
+	if spec.effectiveMode() == ModeIncremental {
 		if res, ok := s.tryIncremental(g, spec); ok {
 			return res, nil
 		}
 		// No lineage or no warm start: incremental degrades to a full
 		// run rather than failing the job.
 	}
-	return RunSpec(g, spec)
+	return runSpec(ctx, g, spec)
 }
 
 // tryIncremental serves a mode=incremental decompose job by repair
@@ -569,161 +598,41 @@ func (s *Service) tryIncremental(g *graph.Graph, spec JobSpec) (*JobResult, bool
 	}}, true
 }
 
-// RunSpec runs the algorithm a spec names directly on a graph. It is the
-// single dispatch point shared by the worker pool and by tests that want
-// the cold-path result without a service.
+// RunSpec runs the algorithm a spec names directly on a graph through
+// the registry. It is the dispatch point shared by tests that want the
+// cold-path result without a service; the worker pool uses the
+// context-aware runSpec so cancellation interrupts the algorithm
+// mid-phase.
 func RunSpec(g *graph.Graph, spec JobSpec) (*JobResult, error) {
-	opts := spec.Options
-	switch spec.Algorithm {
-	case "decompose":
-		d, err := nwforest.Decompose(g, opts)
-		return verified(g, d, err, nwforest.Verify)
-	case "list":
-		k := spec.listPaletteSize()
-		if k < 1 {
-			return nil, fmt.Errorf("service: list needs a palette of at least 1 color, got %d", k)
-		}
-		d, err := nwforest.DecomposeList(g, nwforest.FullPalettes(g.M(), k), opts)
-		if err != nil {
-			return nil, err
-		}
-		// List colorings draw color IDs from the palette [0, k), not the
-		// contiguous [0, NumForests), so validity is against k.
-		if err := nwforest.Verify(g, d.Colors, k); err != nil {
-			return nil, fmt.Errorf("service: result failed verification: %w", err)
-		}
-		return &JobResult{Decomposition: d}, nil
-	case "stars":
-		d, err := nwforest.DecomposeStars(g, nil, opts)
-		return verified(g, d, err, nwforest.VerifyStars)
-	case "stars-list24":
-		k := spec.starsList24PaletteSize()
-		if k < 1 {
-			return nil, fmt.Errorf("service: stars-list24 needs a palette of at least 1 color, got %d", k)
-		}
-		d, err := nwforest.DecomposeStarsList24(g, nwforest.FullPalettes(g.M(), k), spec.AlphaStar, opts.Eps)
-		if err != nil {
-			return nil, err
-		}
-		// The list variant may use color IDs up to the palette size, not
-		// NumForests, so verify against the palette size.
-		if err := nwforest.VerifyStars(g, d.Colors, k); err != nil {
-			return nil, fmt.Errorf("service: result failed verification: %w", err)
-		}
-		return &JobResult{Decomposition: d}, nil
-	case "be":
-		d, err := nwforest.DecomposeBE(g, spec.beAlphaStar(), opts.Eps)
-		return verified(g, d, err, nwforest.Verify)
-	case "pseudo":
-		// DecomposePseudo verifies internally.
-		d, err := nwforest.DecomposePseudo(g, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &JobResult{Decomposition: d}, nil
-	case "orient":
-		o, err := nwforest.Orient(g, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &JobResult{Orientation: o}, nil
-	case "estimate-alpha":
-		est, rounds, err := nwforest.EstimateAlpha(g)
-		if err != nil {
-			return nil, err
-		}
-		return &JobResult{Alpha: est, Rounds: rounds}, nil
-	case "arboricity":
-		alpha, colors := nwforest.Arboricity(g)
-		return &JobResult{Alpha: alpha, Decomposition: &nwforest.Decomposition{
-			Colors:     colors,
-			NumForests: alpha,
-			Diameter:   nwforest.Diameter(g, colors),
-		}}, nil
-	default:
-		return nil, fmt.Errorf("service: unknown algorithm %q", spec.Algorithm)
-	}
+	return runSpec(context.Background(), g, spec)
 }
 
-// verified wraps a decomposition result, rejecting any that fails its
-// validity check — the service never caches or serves an invalid
-// decomposition.
-func verified(g *graph.Graph, d *nwforest.Decomposition, err error, check func(*graph.Graph, []int32, int) error) (*JobResult, error) {
-	if err != nil {
-		return nil, err
-	}
-	if err := check(g, d.Colors, d.NumForests); err != nil {
-		return nil, fmt.Errorf("service: result failed verification: %w", err)
-	}
-	return &JobResult{Decomposition: d}, nil
+// runSpec dispatches one job through the algorithm registry. Validation,
+// normalization, defaulting and result verification are owned by the
+// descriptors (internal/algo); the service contributes only its own
+// concerns — graph resolution, mode handling, caching — around this
+// call.
+func runSpec(ctx context.Context, g *graph.Graph, spec JobSpec) (*JobResult, error) {
+	return algo.Run(ctx, g, spec.request())
 }
-
-func validAlgorithm(name string) bool {
-	for _, a := range Algorithms {
-		if a == name {
-			return true
-		}
-	}
-	return false
-}
-
-// Bounds on client-supplied job parameters. Derived quantities allocate
-// proportionally (FullPalettes allocates a palette of PaletteSize colors;
-// palette sizes scale with (1+Eps)*Alpha), so an unauthenticated request
-// must not be able to commission a giant allocation through them —
-// the same threat model as graph.maxHeaderCount on the ingest side. The
-// caps are orders of magnitude above any meaningful value: arboricity
-// never exceeds n, and n is itself capped at 2^24 by ingestion.
-const (
-	maxJobAlpha   = 1 << 20
-	maxJobPalette = 1 << 24
-	maxJobEps     = 16.0
-)
 
 // validate rejects parameter combinations the algorithms would reject
 // obscurely — or panic on — only after a worker picks the job up, so
-// clients get a 400 at submit time instead.
+// clients get a 400 at submit time instead. Per-algorithm rules live in
+// the registry descriptors; only the service-level Mode field is
+// checked here.
 func (sp JobSpec) validate() error {
-	if !validAlgorithm(sp.Algorithm) {
-		return fmt.Errorf("service: unknown algorithm %q (want one of %v)", sp.Algorithm, Algorithms)
-	}
-	if sp.AlphaStar < 0 || sp.AlphaStar > maxJobAlpha {
-		return fmt.Errorf("service: alphaStar must be in [0, %d], got %d", maxJobAlpha, sp.AlphaStar)
-	}
-	if sp.PaletteSize < 0 || sp.PaletteSize > maxJobPalette {
-		return fmt.Errorf("service: paletteSize must be in [0, %d], got %d", maxJobPalette, sp.PaletteSize)
-	}
-	if sp.Options.Alpha < 0 || sp.Options.Alpha > maxJobAlpha {
-		return fmt.Errorf("service: options.alpha must be in [0, %d], got %d", maxJobAlpha, sp.Options.Alpha)
+	if err := algo.ValidateRequest(sp.request()); err != nil {
+		return err
 	}
 	switch sp.Mode {
 	case "", "full":
 	case ModeIncremental:
-		if sp.Algorithm != "decompose" {
-			return fmt.Errorf("service: mode %q is only supported for algorithm \"decompose\", got %q", ModeIncremental, sp.Algorithm)
+		if d, ok := algo.Lookup(sp.Algorithm); !ok || !d.Caps.Incremental {
+			return fmt.Errorf("service: mode %q is not supported for algorithm %q", ModeIncremental, sp.Algorithm)
 		}
 	default:
 		return fmt.Errorf("service: unknown mode %q (want \"\", \"full\" or %q)", sp.Mode, ModeIncremental)
-	}
-	needsEps := true
-	switch sp.Algorithm {
-	case "decompose", "list", "stars", "pseudo", "orient":
-		if sp.Options.Alpha < 1 {
-			return fmt.Errorf("service: %s requires options.alpha >= 1", sp.Algorithm)
-		}
-	case "be":
-		if sp.AlphaStar < 1 && sp.Options.Alpha < 1 {
-			return fmt.Errorf("service: be requires alphaStar (or options.alpha) >= 1")
-		}
-	case "stars-list24":
-		if sp.AlphaStar < 1 {
-			return fmt.Errorf("service: stars-list24 requires alphaStar >= 1")
-		}
-	default: // estimate-alpha, arboricity: parameterless
-		needsEps = false
-	}
-	if needsEps && !(sp.Options.Eps > 0 && sp.Options.Eps <= maxJobEps) { // the negation also rejects NaN
-		return fmt.Errorf("service: %s requires options.eps in (0, %g]", sp.Algorithm, maxJobEps)
 	}
 	return nil
 }

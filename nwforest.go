@@ -9,33 +9,31 @@
 // distributed protocols, and every result reports the number of
 // synchronous communication rounds the protocol would take.
 //
-// Entry points:
+// The primary entry point is Run: a context-first dispatcher over the
+// algorithm registry (internal/algo). A Request names one registered
+// algorithm ("decompose", "list", "stars", "stars-list24", "be",
+// "pseudo", "orient", "estimate-alpha", "arboricity") and carries its
+// unified parameters; the Result is the union of the algorithms'
+// outputs. Cancellation or expiry of ctx interrupts a run mid-phase —
+// the engine checks the context every simulated round — so servers can
+// abandon work promptly. Algorithms lists the registered names.
 //
-//   - Decompose: (1+ε)α-forest decomposition (paper Theorem 4.6);
-//   - DecomposeList: list forest decomposition, each edge coloring from
-//     its own palette (Theorem 4.10);
-//   - DecomposeStars: star-forest decomposition of simple graphs
-//     (Theorem 5.4), optionally with lists;
-//   - DecomposeStarsList24: the (4+ε)α*-list-star-forest decomposition
-//     for multigraphs (Theorem 2.3);
-//   - DecomposeBE: the Barenboim-Elkin (2+ε)α baseline (Theorem 2.1);
-//   - Orient: (1+ε)α-orientation via decompose-then-root (Corollary 1.1);
-//   - Arboricity / PseudoArboricity: exact centralized references
-//     (Gabow-Westermann; path reversal).
+// The historical per-algorithm functions (Decompose, DecomposeList,
+// DecomposeStars, DecomposeStarsList24, DecomposeBE, DecomposePseudo,
+// Orient, EstimateAlpha) remain as thin wrappers over Run for source
+// compatibility; Arboricity and PseudoArboricity are exact centralized
+// references.
 //
 // All randomness is deterministic given Options.Seed.
 package nwforest
 
 import (
-	"fmt"
-	"strconv"
+	"context"
 
-	"nwforest/internal/core"
-	"nwforest/internal/dist"
+	"nwforest/internal/algo"
 	"nwforest/internal/dynamic"
 	"nwforest/internal/exact"
 	"nwforest/internal/graph"
-	"nwforest/internal/hpartition"
 	"nwforest/internal/orient"
 	"nwforest/internal/verify"
 )
@@ -56,105 +54,58 @@ func NewGraph(n int, edges [][2]int) (*Graph, error) {
 	return graph.New(n, es)
 }
 
-// Options configures the decomposition algorithms.
-type Options struct {
-	// Alpha is a globally known upper bound on the arboricity (required;
-	// use Arboricity to compute it exactly when unknown).
-	Alpha int `json:"alpha"`
-	// Eps is the excess parameter ε in (0, 1]; the decompositions target
-	// (1+ε)·Alpha + O(1) forests.
-	Eps float64 `json:"eps"`
-	// Seed makes runs reproducible.
-	Seed uint64 `json:"seed"`
-	// ReduceDiameter additionally caps every monochromatic tree's
-	// diameter at O(1/ε) (Corollary 2.5), costing O(εα) extra forests.
-	ReduceDiameter bool `json:"reduceDiameter,omitempty"`
-	// Sampled switches the CUT procedure to the conditioned-sampling rule
-	// of Theorem 4.2(3)/(4), the regime for small α.
-	Sampled bool `json:"sampled,omitempty"`
-}
+// Options configures the decomposition algorithms. See algo.Options for
+// the field documentation; its Key method renders the canonical
+// cache-key encoding.
+type Options = algo.Options
 
-// Key returns a canonical string encoding of o: two Options values yield
-// the same Key exactly when every field that influences algorithm output
-// is equal. Since all randomness is deterministic given Seed, a Key
-// together with a graph identity and an algorithm name fully determines a
-// result, which makes Key suitable as a result-cache key (internal/service
-// uses it that way). The float field is rendered with strconv's shortest
-// round-trip formatting, so distinct bit patterns never collide.
-func (o Options) Key() string {
-	return "alpha=" + strconv.Itoa(o.Alpha) +
-		",eps=" + strconv.FormatFloat(o.Eps, 'g', -1, 64) +
-		",seed=" + strconv.FormatUint(o.Seed, 10) +
-		",diam=" + strconv.FormatBool(o.ReduceDiameter) +
-		",sampled=" + strconv.FormatBool(o.Sampled)
-}
+// Request selects and parameterizes one algorithm run for Run: the
+// algorithm name plus the union of the per-algorithm parameters
+// (Options, AlphaStar, PaletteSize, optional explicit Palettes).
+type Request = algo.Request
 
-func (o Options) rule() core.CutRule {
-	if o.Sampled {
-		return core.CutSampled
-	}
-	return core.CutModDepth
-}
+// Result is the union of the algorithms' outputs: a Decomposition, an
+// Orientation, or scalar outputs, plus the phase breakdown.
+type Result = algo.Result
 
 // Decomposition is a forest decomposition of a graph.
-type Decomposition struct {
-	// Colors[id] is the forest index of edge id.
-	Colors []int32 `json:"colors"`
-	// NumForests is the number of forests used.
-	NumForests int `json:"numForests"`
-	// Diameter is the maximum monochromatic tree diameter.
-	Diameter int `json:"diameter"`
-	// Rounds is the LOCAL round complexity of the run.
-	Rounds int `json:"rounds"`
-	// Phases breaks Rounds down by algorithm phase.
-	Phases []dist.Phase `json:"phases,omitempty"`
+type Decomposition = algo.Decomposition
+
+// Orientation assigns every edge a direction.
+type Orientation = algo.Orientation
+
+// Algorithms lists the registered algorithm names in registration
+// order. The returned slice is shared; callers must not mutate it.
+func Algorithms() []string { return algo.Names() }
+
+// Run validates and executes one algorithm run on g, dispatching
+// through the algorithm registry. It is the single entry point behind
+// every wrapper below, the nwserve worker pool, cmd/nwdecomp and the
+// experiment harness. ctx cancellation or deadline expiry interrupts
+// the run mid-phase and surfaces as ctx.Err().
+func Run(ctx context.Context, g *Graph, req Request) (*Result, error) {
+	return algo.Run(ctx, g, req)
 }
 
 // Decompose partitions the edges of g into close to (1+ε)·Alpha forests
 // (Theorem 4.6 of the paper).
 func Decompose(g *Graph, opts Options) (*Decomposition, error) {
-	var cost dist.Cost
-	res, err := core.ForestDecomposition(g, core.FDOptions{
-		Alpha:          opts.Alpha,
-		Eps:            opts.Eps,
-		Seed:           opts.Seed,
-		Rule:           opts.rule(),
-		ReduceDiameter: opts.ReduceDiameter,
-	}, &cost)
+	res, err := Run(context.Background(), g, Request{Algorithm: "decompose", Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	return &Decomposition{
-		Colors:     res.Colors,
-		NumForests: res.NumColors,
-		Diameter:   res.Diameter,
-		Rounds:     cost.Rounds(),
-		Phases:     cost.Breakdown(),
-	}, nil
+	return res.Decomposition, nil
 }
 
 // DecomposeList colors every edge from its own palette so that each color
 // class is a forest (Theorem 4.10). Palettes should have at least
 // ceil((1+ε)·Alpha) colors each.
 func DecomposeList(g *Graph, palettes [][]int32, opts Options) (*Decomposition, error) {
-	var cost dist.Cost
-	res, err := core.ListForestDecomposition(g, core.LFDOptions{
-		Palettes: palettes,
-		Alpha:    opts.Alpha,
-		Eps:      opts.Eps,
-		Seed:     opts.Seed,
-		Rule:     opts.rule(),
-	}, &cost)
+	res, err := Run(context.Background(), g, Request{Algorithm: "list", Options: opts, Palettes: palettes})
 	if err != nil {
 		return nil, err
 	}
-	return &Decomposition{
-		Colors:     res.Colors,
-		NumForests: res.ColorsUsed,
-		Diameter:   verify.MaxForestDiameter(g, res.Colors),
-		Rounds:     cost.Rounds(),
-		Phases:     cost.Breakdown(),
-	}, nil
+	return res.Decomposition, nil
 }
 
 // DecomposeStars partitions the edges of a simple graph into close to
@@ -162,105 +113,84 @@ func DecomposeList(g *Graph, palettes [][]int32, opts Options) (*Decomposition, 
 // list variant (Theorem 5.4(2)) is used; palettes then need
 // ~(1+ε)·Alpha + O(εα) colors each.
 func DecomposeStars(g *Graph, palettes [][]int32, opts Options) (*Decomposition, error) {
-	var cost dist.Cost
-	res, err := core.StarForestDecomposition(g, core.SFDOptions{
-		Alpha:    opts.Alpha,
-		Eps:      opts.Eps,
-		Seed:     opts.Seed,
-		Palettes: palettes,
-	}, &cost)
+	res, err := Run(context.Background(), g, Request{Algorithm: "stars", Options: opts, Palettes: palettes})
 	if err != nil {
 		return nil, err
 	}
-	return &Decomposition{
-		Colors:     res.Colors,
-		NumForests: res.NumColors,
-		Diameter:   verify.MaxForestDiameter(g, res.Colors),
-		Rounds:     cost.Rounds(),
-		Phases:     cost.Breakdown(),
-	}, nil
+	return res.Decomposition, nil
 }
 
 // DecomposeStarsList24 computes a list star-forest decomposition of a
 // multigraph with palettes of size floor((4+ε)·alphaStar) - 1
 // (Theorem 2.3).
 func DecomposeStarsList24(g *Graph, palettes [][]int32, alphaStar int, eps float64) (*Decomposition, error) {
-	var cost dist.Cost
-	colors, err := core.ListStarForest24(g, palettes, alphaStar, eps, &cost)
+	res, err := Run(context.Background(), g, Request{
+		Algorithm: "stars-list24",
+		Options:   Options{Eps: eps},
+		AlphaStar: alphaStar,
+		Palettes:  palettes,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Decomposition{
-		Colors:     colors,
-		NumForests: verify.ColorsUsed(colors),
-		Diameter:   verify.MaxForestDiameter(g, colors),
-		Rounds:     cost.Rounds(),
-		Phases:     cost.Breakdown(),
-	}, nil
+	return res.Decomposition, nil
 }
 
 // DecomposeBE is the Barenboim-Elkin baseline: a (2+ε)·alphaStar forest
 // decomposition via the H-partition in O(log n / ε) rounds
 // (Theorem 2.1(2)+(labels)).
 func DecomposeBE(g *Graph, alphaStar int, eps float64) (*Decomposition, error) {
-	var cost dist.Cost
-	t := hpartition.Threshold(alphaStar, eps)
-	hp, err := hpartition.Partition(g, t, 16*g.N()+64, &cost)
+	res, err := Run(context.Background(), g, Request{
+		Algorithm: "be",
+		Options:   Options{Eps: eps},
+		AlphaStar: alphaStar,
+	})
 	if err != nil {
 		return nil, err
 	}
-	colors, err := hpartition.ForestDecomposition(g, hp, &cost)
-	if err != nil {
-		return nil, err
-	}
-	used := int(verify.MaxColor(colors)) + 1
-	return &Decomposition{
-		Colors:     colors,
-		NumForests: used,
-		Diameter:   verify.MaxForestDiameter(g, colors),
-		Rounds:     cost.Rounds(),
-		Phases:     cost.Breakdown(),
-	}, nil
-}
-
-// Orientation assigns every edge a direction.
-type Orientation struct {
-	// FromU[id] reports whether edge id points from its U endpoint to V.
-	FromU []bool `json:"fromU"`
-	// MaxOutDegree is the maximum out-degree realized.
-	MaxOutDegree int `json:"maxOutDegree"`
-	// Rounds is the LOCAL round complexity.
-	Rounds int `json:"rounds"`
-	// Phases breaks Rounds down by algorithm phase.
-	Phases []dist.Phase `json:"phases,omitempty"`
+	return res.Decomposition, nil
 }
 
 // Orient computes a (1+ε)·Alpha + O(1) orientation by decomposing into
 // forests and orienting every edge toward its tree root (Corollary 1.1).
 func Orient(g *Graph, opts Options) (*Orientation, error) {
-	var cost dist.Cost
-	res, err := core.ForestDecomposition(g, core.FDOptions{
-		Alpha:          opts.Alpha,
-		Eps:            opts.Eps,
-		Seed:           opts.Seed,
-		Rule:           opts.rule(),
-		ReduceDiameter: true, // rooting costs O(diameter) rounds
-	}, &cost)
+	res, err := Run(context.Background(), g, Request{Algorithm: "orient", Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	o := orient.FromForestDecomposition(g, res.Colors, &cost)
-	return &Orientation{
-		FromU:        o.FromU,
-		MaxOutDegree: verify.MaxOutDegree(g, o),
-		Rounds:       cost.Rounds(),
-		Phases:       cost.Breakdown(),
-	}, nil
+	return res.Orientation, nil
+}
+
+// DecomposePseudo partitions the edges into close to (1+ε)·Alpha
+// pseudo-forests (graphs with at most one cycle per component) via the
+// orientation of Corollary 1.1.
+func DecomposePseudo(g *Graph, opts Options) (*Decomposition, error) {
+	res, err := Run(context.Background(), g, Request{Algorithm: "pseudo", Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return res.Decomposition, nil
+}
+
+// EstimateAlpha computes, by distributed peeling with doubling thresholds,
+// an upper bound on the arboricity of g that is at most ~5x the
+// pseudo-arboricity. Use it to seed Options.Alpha when no bound is known
+// (the paper assumes alpha is globally known; this removes that
+// assumption at a constant-factor loss). It also reports the LOCAL
+// rounds spent.
+func EstimateAlpha(g *Graph) (int, int, error) {
+	res, err := Run(context.Background(), g, Request{Algorithm: "estimate-alpha"})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Alpha, res.Rounds, nil
 }
 
 // Arboricity computes the exact arboricity of g with the centralized
 // Gabow-Westermann matroid-union algorithm, together with a witnessing
-// optimal decomposition.
+// optimal decomposition. (It calls the exact reference directly — no
+// error path — but the same computation is registered as the
+// "arboricity" algorithm for Run callers.)
 func Arboricity(g *Graph) (int, []int32) { return exact.Arboricity(g) }
 
 // PseudoArboricity computes the exact pseudo-arboricity (the minimum
@@ -286,67 +216,7 @@ func Diameter(g *Graph, colors []int32) int {
 
 // FullPalettes builds m palettes all equal to {0..k-1}; convenient for
 // exercising the list APIs with ordinary colors.
-func FullPalettes(m, k int) [][]int32 {
-	pal := make([]int32, k)
-	for i := range pal {
-		pal[i] = int32(i)
-	}
-	out := make([][]int32, m)
-	for i := range out {
-		out[i] = pal
-	}
-	return out
-}
-
-// String summarizes a decomposition.
-func (d *Decomposition) String() string {
-	return fmt.Sprintf("forests=%d diameter=%d rounds=%d", d.NumForests, d.Diameter, d.Rounds)
-}
-
-// EstimateAlpha computes, by distributed peeling with doubling thresholds,
-// an upper bound on the arboricity of g that is at most ~5x the
-// pseudo-arboricity. Use it to seed Options.Alpha when no bound is known
-// (the paper assumes alpha is globally known; this removes that
-// assumption at a constant-factor loss). It also reports the LOCAL
-// rounds spent.
-func EstimateAlpha(g *Graph) (int, int, error) {
-	var cost dist.Cost
-	est, err := hpartition.EstimateDegeneracy(g, &cost)
-	if err != nil {
-		return 0, 0, err
-	}
-	return est, cost.Rounds(), nil
-}
-
-// DecomposePseudo partitions the edges into close to (1+ε)·Alpha
-// pseudo-forests (graphs with at most one cycle per component) via the
-// orientation of Corollary 1.1.
-func DecomposePseudo(g *Graph, opts Options) (*Decomposition, error) {
-	var cost dist.Cost
-	res, err := core.ForestDecomposition(g, core.FDOptions{
-		Alpha:          opts.Alpha,
-		Eps:            opts.Eps,
-		Seed:           opts.Seed,
-		Rule:           opts.rule(),
-		ReduceDiameter: true,
-	}, &cost)
-	if err != nil {
-		return nil, err
-	}
-	o := orient.FromForestDecomposition(g, res.Colors, &cost)
-	colors := orient.PseudoForestDecomposition(g, o)
-	used := int(verify.MaxColor(colors)) + 1
-	if err := verify.PseudoForestDecomposition(g, colors, used); err != nil {
-		return nil, err
-	}
-	return &Decomposition{
-		Colors:     colors,
-		NumForests: used,
-		Diameter:   -1, // pseudo-forests are not trees; diameter not defined
-		Rounds:     cost.Rounds(),
-		Phases:     cost.Breakdown(),
-	}, nil
-}
+func FullPalettes(m, k int) [][]int32 { return algo.FullPalettes(m, k) }
 
 // DynamicGraph is a mutable overlay over a Graph: a frozen CSR base plus
 // a delta of inserted and deleted edges, compacted back to pure CSR by
