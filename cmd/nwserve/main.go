@@ -9,15 +9,24 @@
 //
 // Endpoints (see internal/service.NewHTTPHandler):
 //
-//	POST   /graphs      upload a graph (plain, DIMACS or METIS; auto-detected)
-//	POST   /jobs        {"graph": "sha256:...", "algorithm": "decompose",
-//	                     "options": {"alpha": 4, "eps": 0.5, "seed": 1}}
-//	GET    /jobs/{id}   poll (?wait=5s to block), DELETE to cancel
-//	GET    /stats       cache hit/miss/eviction and queue counters
+//	POST   /graphs            upload a graph (plain, DIMACS or METIS; auto-detected)
+//	POST   /jobs              {"graph": "sha256:...", "algorithm": "decompose",
+//	                           "options": {"alpha": 4, "eps": 0.5, "seed": 1}}
+//	GET    /jobs/{id}         poll (?wait=5s to block), DELETE to cancel
+//	GET    /jobs/{id}/events  the job's progress stream (SSE)
+//	GET    /stats             cache hit/miss/eviction and queue counters
+//	GET    /metrics           Prometheus text exposition
+//
+// By default the daemon is purely in-memory. -data-dir enables the
+// durability tier: graphs, version lineage and computed results are
+// written through to disk (WAL + periodic snapshots) and recovered on
+// the next start, including after a crash.
 //
 // The actual listen address is printed to stdout as
 // "nwserve: listening on http://HOST:PORT" (useful with -addr :0), and
-// SIGINT/SIGTERM trigger a graceful drain before exit.
+// SIGINT/SIGTERM trigger a graceful drain before exit. Structured logs
+// (startup recovery summary, per-request and per-job lines) go to
+// stderr; -log off silences them.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,17 +56,55 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 	ingestDir := flag.String("ingest-dir", "", "directory POST /graphs {\"path\":...} may read from (empty = disabled)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
+	dataDir := flag.String("data-dir", "", "persistence directory: WAL + snapshots + graph bytes (empty = in-memory only)")
+	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "how often the durability tier checkpoints and truncates its WAL")
+	retention := flag.Duration("retention", 0, "age bound for persisted graph bytes (0 = keep while referenced)")
+	logMode := flag.String("log", "text", "structured log format on stderr: text, json, or off")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		GraphCapacity:  *graphCache,
-		MaxStoreBytes:  *storeBytes,
-		ResultCapacity: *resultCache,
-		DefaultTimeout: *timeout,
-		IngestDir:      *ingestDir,
+	var logger *slog.Logger
+	switch *logMode {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fatal(fmt.Errorf("unknown -log mode %q (want text, json or off)", *logMode))
+	}
+
+	svc, err := service.Open(service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		GraphCapacity:    *graphCache,
+		MaxStoreBytes:    *storeBytes,
+		ResultCapacity:   *resultCache,
+		DefaultTimeout:   *timeout,
+		IngestDir:        *ingestDir,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapshotInterval,
+		RetentionAge:     *retention,
+		Logger:           logger,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if rec := svc.Recovery(); rec.Enabled && logger != nil {
+		snapshotAge := "none"
+		if !rec.SnapshotAt.IsZero() {
+			snapshotAge = time.Since(rec.SnapshotAt).Round(time.Second).String()
+		}
+		logger.Info("recovered",
+			"dataDir", *dataDir,
+			"graphs", rec.GraphsRecovered,
+			"lineageLinks", rec.LineageLinks,
+			"resultsWarmed", rec.ResultsWarmed,
+			"walRecords", rec.WALRecords,
+			"walTruncated", rec.WALTruncated,
+			"snapshotAge", snapshotAge,
+			"missingGraphs", rec.MissingGraphs,
+			"corrupt", rec.Corrupt)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

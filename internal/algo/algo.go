@@ -301,5 +301,8 @@ func Run(ctx context.Context, g *graph.Graph, req Request) (*Result, error) {
 		return nil, err
 	}
 	var cost dist.Cost
+	// A progress hook riding on ctx (dist.WithProgress — the service's
+	// per-job SSE stream) observes this run's cost as it accrues.
+	cost.SetProgress(dist.ProgressFromContext(ctx))
 	return d.Run(ctx, g, d.Normalize(req), &cost)
 }

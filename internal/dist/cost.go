@@ -23,6 +23,8 @@ type Phase struct {
 type Cost struct {
 	phases []Phase
 	index  map[string]int
+	// progress, when set, observes every round charge (see SetProgress).
+	progress Progress
 }
 
 // phase returns the accumulator for the named phase, appending it in
@@ -50,6 +52,9 @@ func (c *Cost) Charge(rounds int, phase string) {
 	if rounds > 0 {
 		p.Rounds += rounds
 	}
+	if c.progress != nil {
+		c.progress(p.Name, p.Rounds, c.Rounds())
+	}
 }
 
 // ChargeMax raises the named phase's round total to rounds if it is
@@ -63,6 +68,9 @@ func (c *Cost) ChargeMax(rounds int, phase string) {
 	p := c.phase(phase)
 	if rounds > p.Rounds {
 		p.Rounds = rounds
+	}
+	if c.progress != nil {
+		c.progress(p.Name, p.Rounds, c.Rounds())
 	}
 }
 

@@ -1,0 +1,39 @@
+package dist
+
+import "context"
+
+// Progress observes cost accounting as it accrues: it is invoked after
+// every Charge/ChargeMax that touches a phase's round count, with the
+// phase's name, the phase's round total so far, and the Cost's overall
+// round total. It is the seam long-running consumers (the service's
+// per-job SSE progress stream) hook to watch a decomposition advance
+// phase by phase without the algorithms knowing about them.
+//
+// The hook runs synchronously on the charging goroutine — the same
+// single goroutine that owns the Cost — so implementations must be
+// cheap and must not call back into the Cost.
+type Progress func(phase string, phaseRounds, totalRounds int)
+
+// SetProgress installs fn as the Cost's progress hook (nil removes it).
+// Safe on a nil receiver, like every Cost method.
+func (c *Cost) SetProgress(fn Progress) {
+	if c != nil {
+		c.progress = fn
+	}
+}
+
+// progressKey carries a Progress hook through a context.
+type progressKey struct{}
+
+// WithProgress returns a context carrying fn, for handing a progress
+// hook down to code that creates its own Cost (algo.Run installs the
+// context's hook on the Cost it allocates per run).
+func WithProgress(ctx context.Context, fn Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ProgressFromContext returns the Progress hook carried by ctx, or nil.
+func ProgressFromContext(ctx context.Context) Progress {
+	fn, _ := ctx.Value(progressKey{}).(Progress)
+	return fn
+}

@@ -1,0 +1,70 @@
+package dist_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"nwforest/internal/dist"
+)
+
+type progressCall struct {
+	phase       string
+	phaseRounds int
+	total       int
+}
+
+func TestCostProgressObservesEveryRoundCharge(t *testing.T) {
+	var got []progressCall
+	var c dist.Cost
+	c.SetProgress(func(phase string, phaseRounds, total int) {
+		got = append(got, progressCall{phase, phaseRounds, total})
+	})
+	c.Charge(3, "peel")
+	c.Charge(2, "peel")
+	c.ChargeMax(4, "cluster")
+	c.ChargeMax(2, "cluster") // no-op raise still reports current state
+	c.ChargeMessages(10, 80, "peel")
+
+	want := []progressCall{
+		{"peel", 3, 3},
+		{"peel", 5, 5},
+		{"cluster", 4, 9},
+		{"cluster", 4, 9},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("progress calls:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCostProgressNilReceiverAndRemoval(t *testing.T) {
+	var nilc *dist.Cost
+	nilc.SetProgress(func(string, int, int) { t.Fatal("hook on nil Cost must never fire") })
+	nilc.Charge(1, "x")
+
+	calls := 0
+	var c dist.Cost
+	c.SetProgress(func(string, int, int) { calls++ })
+	c.Charge(1, "x")
+	c.SetProgress(nil)
+	c.Charge(1, "x")
+	if calls != 1 {
+		t.Fatalf("got %d progress calls after removal, want 1", calls)
+	}
+}
+
+func TestProgressContextRoundTrip(t *testing.T) {
+	if dist.ProgressFromContext(context.Background()) != nil {
+		t.Fatal("background context must carry no progress hook")
+	}
+	calls := 0
+	ctx := dist.WithProgress(context.Background(), func(string, int, int) { calls++ })
+	fn := dist.ProgressFromContext(ctx)
+	if fn == nil {
+		t.Fatal("WithProgress hook not recoverable from context")
+	}
+	fn("p", 1, 1)
+	if calls != 1 {
+		t.Fatal("recovered hook is not the installed one")
+	}
+}

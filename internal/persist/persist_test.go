@@ -1,0 +1,306 @@
+package persist_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nwforest/internal/persist"
+)
+
+// fakeID builds a plausible content address for test payloads.
+func fakeID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+func openRecovered(t *testing.T, dir string) (*persist.Log, *persist.Recovered) {
+	t.Helper()
+	l, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	rec, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func TestRoundTripGraphsAndResults(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openRecovered(t, dir)
+	if len(rec.Graphs) != 0 || len(rec.Results) != 0 || rec.WALTruncated {
+		t.Fatalf("fresh dir recovered non-empty state: %+v", rec)
+	}
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		data := []byte(fmt.Sprintf("3 1\n0 %d\n", i%3))
+		id := fakeID(data)
+		ids = append(ids, id)
+		meta := persist.GraphMeta{ID: id, Format: "plain"}
+		if i == 2 {
+			meta.Parent = ids[0]
+			meta.Mutation = json.RawMessage(`{"insert":[[0,1]]}`)
+		}
+		if err := l.AppendGraph(meta, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idempotent re-append of an existing graph.
+	if err := l.AppendGraph(persist.GraphMeta{ID: ids[0], Format: "plain"}, []byte("3 1\n0 0\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendResult("k1", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendResult("k2", json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-recording a key keeps the newest value.
+	if err := l.AppendResult("k1", json.RawMessage(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, rec2 := openRecovered(t, dir)
+	if len(rec2.Graphs) != 3 {
+		t.Fatalf("recovered %d graphs, want 3 (dup collapsed)", len(rec2.Graphs))
+	}
+	for i, g := range rec2.Graphs {
+		if g.ID != ids[i] {
+			t.Fatalf("graph %d recovered out of order: %s != %s", i, g.ID, ids[i])
+		}
+		if fakeID(g.Data) != g.ID {
+			t.Fatalf("graph %d bytes do not match their content address", i)
+		}
+	}
+	if rec2.Graphs[2].Parent != ids[0] || string(rec2.Graphs[2].Mutation) != `{"insert":[[0,1]]}` {
+		t.Fatalf("lineage lost: %+v", rec2.Graphs[2])
+	}
+	if len(rec2.Results) != 2 {
+		t.Fatalf("recovered %d results, want 2", len(rec2.Results))
+	}
+	// k1 was re-recorded last, so it takes the newest position.
+	if rec2.Results[0].Key != "k2" || rec2.Results[1].Key != "k1" ||
+		string(rec2.Results[1].Value) != `{"v":3}` {
+		t.Fatalf("result index wrong: %+v", rec2.Results)
+	}
+	if rec2.WALTruncated {
+		t.Fatal("clean WAL reported as truncated")
+	}
+}
+
+func TestSnapshotTruncatesWALAndMerges(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openRecovered(t, dir)
+	dataA := []byte("2 1\n0 1\n")
+	idA := fakeID(dataA)
+	if err := l.AppendGraph(persist.GraphMeta{ID: idA, Format: "plain"}, dataA); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendResult("ka", json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(
+		[]persist.GraphMeta{{ID: idA, Format: "plain"}},
+		[]persist.ResultRecord{{Key: "ka", Value: json.RawMessage(`{"a":1}`)}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.WALBytes != 0 || st.Snapshots != 1 || st.LastSnapshot.IsZero() {
+		t.Fatalf("post-snapshot stats %+v", st)
+	}
+	// Post-snapshot appends land in the (now empty) WAL.
+	dataB := []byte("2 1\n1 0\n")
+	idB := fakeID(dataB)
+	if err := l.AppendGraph(persist.GraphMeta{ID: idB, Format: "plain", Parent: idA}, dataB); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, rec := openRecovered(t, dir)
+	if rec.SnapshotAt.IsZero() {
+		t.Fatal("snapshot time not recovered")
+	}
+	if len(rec.Graphs) != 2 || rec.Graphs[0].ID != idA || rec.Graphs[1].ID != idB {
+		t.Fatalf("snapshot+WAL merge wrong: %+v", rec.Graphs)
+	}
+	if rec.WALRecords != 1 {
+		t.Fatalf("replayed %d WAL records, want 1 (post-snapshot only)", rec.WALRecords)
+	}
+	if len(rec.Results) != 1 || rec.Results[0].Key != "ka" {
+		t.Fatalf("results lost across snapshot: %+v", rec.Results)
+	}
+}
+
+// TestTornTailIsToleratedAtEveryOffset is the WAL's crash-safety core:
+// whatever byte offset a crash truncates the log at, recovery must
+// yield an intact prefix of the appended records and leave the log
+// appendable.
+func TestTornTailIsToleratedAtEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l, _ := openRecovered(t, master)
+	const n = 6
+	var ids []string
+	for i := 0; i < n; i++ {
+		data := []byte(fmt.Sprintf("8 1\n0 %d\n", i+1))
+		id := fakeID(data)
+		ids = append(ids, id)
+		if err := l.AppendGraph(persist.GraphMeta{ID: id, Format: "plain"}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	walData, err := os.ReadFile(filepath.Join(master, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := 0; off <= len(walData); off += 7 {
+		dir := t.TempDir()
+		if err := os.CopyFS(dir, os.DirFS(master)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), walData[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec := openRecovered(t, dir)
+		if rec.WALRecords > n {
+			t.Fatalf("offset %d: recovered %d records from %d appends", off, rec.WALRecords, n)
+		}
+		for i, g := range rec.Graphs {
+			if g.ID != ids[i] {
+				t.Fatalf("offset %d: recovery is not a prefix: graph %d is %s, want %s", off, i, g.ID, ids[i])
+			}
+		}
+		// A cut exactly on a frame boundary is indistinguishable from a
+		// clean shutdown; anywhere else must be reported as a torn tail.
+		frameLen := len(walData) / n
+		if wantTorn := off%frameLen != 0; wantTorn != rec.WALTruncated {
+			t.Fatalf("offset %d: WALTruncated=%v, want %v", off, rec.WALTruncated, wantTorn)
+		}
+		// The recovered log must accept new appends.
+		extra := []byte("5 1\n0 4\n")
+		if err := l2.AppendGraph(persist.GraphMeta{ID: fakeID(extra), Format: "plain"}, extra); err != nil {
+			t.Fatalf("offset %d: append after recovery: %v", off, err)
+		}
+		l2.Close()
+		_, rec3 := openRecovered(t, dir)
+		if len(rec3.Graphs) != rec.WALRecords+1 {
+			t.Fatalf("offset %d: %d graphs after re-recovery, want %d", off, len(rec3.Graphs), rec.WALRecords+1)
+		}
+	}
+}
+
+func TestCorruptMiddleRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openRecovered(t, dir)
+	for i := 0; i < 3; i++ {
+		data := []byte(fmt.Sprintf("3 1\n0 %d\n", i%3))
+		if err := l.AppendGraph(persist.GraphMeta{ID: fakeID(data), Format: "plain"}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, "wal.log")
+	walData, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the middle record.
+	walData[len(walData)/2] ^= 0xff
+	if err := os.WriteFile(path, walData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openRecovered(t, dir)
+	if !rec.WALTruncated {
+		t.Fatal("corrupt record not reported as truncation")
+	}
+	if len(rec.Graphs) >= 3 {
+		t.Fatalf("recovered %d graphs past a corrupt record", len(rec.Graphs))
+	}
+}
+
+func TestSweepRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openRecovered(t, dir)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		data := []byte(fmt.Sprintf("9 1\n0 %d\n", i+1))
+		id := fakeID(data)
+		ids = append(ids, id)
+		if err := l.AppendGraph(persist.GraphMeta{ID: id, Format: "plain"}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make files distinguishably old for the age/byte sweeps.
+	for i, id := range ids {
+		p := filepath.Join(dir, "graphs", id[len("sha256:"):])
+		mt := time.Now().Add(-time.Duration(len(ids)-i) * time.Hour)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 1: dead IDs are removed.
+	dead := ids[0]
+	removed, err := l.Sweep(func(id string) bool { return id != dead }, 0, 0)
+	if err != nil || removed != 1 {
+		t.Fatalf("dead sweep removed %d (%v), want 1", removed, err)
+	}
+	// 2: age bound removes the oldest survivors (ids[1] is now ~3h old).
+	removed, err = l.Sweep(func(string) bool { return true }, 150*time.Minute, 0)
+	if err != nil || removed != 1 {
+		t.Fatalf("age sweep removed %d (%v), want 1", removed, err)
+	}
+	// 3: byte budget removes oldest-first down to the budget. Two 8-byte
+	// files remain; a 9-byte budget keeps only the newest.
+	removed, err = l.Sweep(func(string) bool { return true }, 0, 9)
+	if err != nil || removed != 1 {
+		t.Fatalf("byte sweep removed %d (%v), want 1", removed, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "graphs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != ids[3][len("sha256:"):] {
+		t.Fatalf("survivors %v, want newest only", entries)
+	}
+	if st := l.Stats(); st.SweptFiles != 3 {
+		t.Fatalf("SweptFiles %d, want 3", st.SweptFiles)
+	}
+	l.Close()
+	// Recovery skips the swept graphs instead of failing.
+	_, rec := openRecovered(t, dir)
+	if len(rec.Graphs) != 1 || rec.MissingGraphs != 3 {
+		t.Fatalf("post-sweep recovery: %d graphs, %d missing; want 1/3", len(rec.Graphs), rec.MissingGraphs)
+	}
+}
+
+func TestAppendBeforeRecoverAndBadIDRejected(t *testing.T) {
+	l, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendResult("k", json.RawMessage(`1`)); err == nil {
+		t.Fatal("append before Recover must fail")
+	}
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendGraph(persist.GraphMeta{ID: "sha256:../../etc/passwd", Format: "plain"}, []byte("x")); err == nil {
+		t.Fatal("path-traversal ID must be rejected")
+	}
+	if _, err := l.Recover(); err == nil {
+		t.Fatal("second Recover must fail")
+	}
+}

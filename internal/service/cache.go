@@ -1,6 +1,11 @@
 package service
 
-import "sync"
+import (
+	"encoding/json"
+	"sync"
+
+	"nwforest/internal/persist"
+)
 
 // resultCache memoizes completed job results keyed by
 // (graph hash, algorithm, canonical options key) — see JobSpec.CacheKey.
@@ -103,6 +108,24 @@ func (c *resultCache) put(key string, r *JobResult) {
 	for c.curBytes > c.maxBytes && c.entries.len() > 1 {
 		c.entries.evictOldest()
 	}
+}
+
+// export serializes the cache's entries oldest-first for a snapshot.
+// Replaying the records through put in that order reproduces both the
+// contents and the recency order, so a warm restart evicts in the same
+// sequence the original process would have.
+func (c *resultCache) export() []persist.ResultRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]persist.ResultRecord, 0, c.entries.len())
+	c.entries.each(func(key string, r *JobResult) {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return
+		}
+		out = append(out, persist.ResultRecord{Key: key, Value: raw})
+	})
+	return out
 }
 
 func (c *resultCache) stats() CacheStats {

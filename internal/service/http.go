@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nwforest/internal/graph"
+	"nwforest/internal/telemetry"
 )
 
 // maxUploadBytes caps POST /graphs bodies.
@@ -41,9 +42,20 @@ const maxUploadBytes = 256 << 20
 //	GET    /jobs            list retained jobs
 //	GET    /jobs/{id}       poll a job; ?wait=5s blocks until it finishes
 //	                        or the duration elapses
+//	GET    /jobs/{id}/events
+//	                        the job's progress stream as server-sent
+//	                        events: state transitions, algorithm phases,
+//	                        round totals, and incremental repair
+//	                        summaries; history replays first, then live
+//	                        events until the job finishes
 //	DELETE /jobs/{id}       cancel a job
 //	GET    /stats           store / cache / queue counters
+//	GET    /metrics         the same counters (plus WAL/snapshot and
+//	                        latency histograms) in Prometheus text format
 //	GET    /healthz         liveness
+//
+// When svc was configured with a Logger, every completed request is
+// logged through it.
 func NewHTTPHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graphs", func(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +87,9 @@ func NewHTTPHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleGetJob(svc, w, r)
 	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleJobEvents(svc, w, r)
+	})
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		j, ok := svc.Get(id)
@@ -88,10 +103,57 @@ func NewHTTPHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
+	mux.Handle("GET /metrics", svc.MetricsHandler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return telemetry.LogRequests(svc.logger, mux)
+}
+
+// handleJobEvents serves GET /jobs/{id}/events: the job's event history
+// replays first, then live events stream until the job reaches a
+// terminal state or the client disconnects. Because the terminal event
+// is published before the job's done channel closes, the stream always
+// ends with it.
+func handleJobEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := svc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	sse, err := telemetry.NewSSEWriter(w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	notify, unsubscribe := j.hub.subscribe()
+	defer unsubscribe()
+	var last int64
+	flush := func() bool {
+		for _, ev := range j.hub.since(last) {
+			if err := sse.Send(ev.Type, ev); err != nil {
+				return false
+			}
+			last = ev.Seq
+		}
+		return true
+	}
+	for {
+		if !flush() {
+			return
+		}
+		if j.State().terminal() {
+			flush() // drain anything published between since() and State()
+			return
+		}
+		select {
+		case <-notify:
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func handleAddGraph(svc *Service, w http.ResponseWriter, r *http.Request) {

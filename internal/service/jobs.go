@@ -122,6 +122,11 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed on entering a terminal state
+
+	// hub carries the job's progress event stream (GET /jobs/{id}/events).
+	// The terminal state event is published before done is closed, so a
+	// subscriber woken by Done() always finds it in the history.
+	hub *eventHub
 }
 
 // JobSnapshot is a point-in-time JSON view of a job.
@@ -187,6 +192,7 @@ func (j *Job) tryStart(now time.Time) bool {
 	}
 	j.state = JobRunning
 	j.started = now
+	j.hub.publish(JobEvent{Type: "state", State: JobRunning})
 	return true
 }
 
@@ -205,6 +211,9 @@ func (j *Job) finish(now time.Time, state JobState, res *JobResult, errMsg strin
 	j.errMsg = errMsg
 	j.cached = cached
 	j.finished = now
+	// Publish the terminal event before closing done: anyone woken by
+	// Done() must be able to read it from the hub's history.
+	j.hub.publish(JobEvent{Type: "state", State: state, Cached: cached, Error: errMsg})
 	close(j.done)
 	j.cancel() // release the context's resources
 	return true

@@ -89,3 +89,13 @@ func (l *lru[K, V]) remove(k K) {
 
 // len returns the number of entries currently held.
 func (l *lru[K, V]) len() int { return l.ll.Len() }
+
+// each visits every entry from least to most recently used, without
+// touching recency. Snapshot exports use it so re-inserting the entries
+// in visit order reproduces the same recency order.
+func (l *lru[K, V]) each(fn func(K, V)) {
+	for el := l.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry[K, V])
+		fn(e.key, e.val)
+	}
+}

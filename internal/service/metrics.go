@@ -1,0 +1,144 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"nwforest/internal/telemetry"
+)
+
+// initMetrics builds the service's /metrics registry. Counters and
+// gauges are pull-based collect functions over the counters the service
+// already keeps (store, cache, queue, WAL), so scraping adds no
+// bookkeeping to the serving path; the per-algorithm latency histogram
+// is the one push-based series (observed once per computed job).
+func (s *Service) initMetrics() {
+	r := telemetry.NewRegistry()
+	s.metrics = r
+	s.jobDurations = r.Histogram("nwserve_job_duration_seconds",
+		"Wall time of computed (non-cached) jobs by algorithm.",
+		"algorithm", telemetry.DefDurationBuckets)
+
+	// jobStates is fixed so the exported series are stable across
+	// scrapes even when no job is currently in a state.
+	jobStates := []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled}
+	r.GaugeVec("nwserve_jobs", "Retained jobs by lifecycle state.", func() []telemetry.Sample {
+		st := s.Stats()
+		out := make([]telemetry.Sample, len(jobStates))
+		for i, state := range jobStates {
+			out[i] = telemetry.Sample{
+				Labels: []telemetry.Label{{Name: "state", Value: string(state)}},
+				Value:  float64(st.Jobs[string(state)]),
+			}
+		}
+		return telemetry.SortSamples(out)
+	})
+	r.Gauge("nwserve_queue_depth", "Jobs waiting for a worker.", func() float64 {
+		return float64(len(s.queue))
+	})
+	r.Gauge("nwserve_queue_capacity", "Job queue capacity.", func() float64 {
+		return float64(cap(s.queue))
+	})
+	r.Gauge("nwserve_workers", "Worker pool size.", func() float64 {
+		return float64(s.cfg.Workers)
+	})
+	r.Counter("nwserve_jobs_deduped_total",
+		"Submissions attached to an identical in-flight job.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.dedups)
+		})
+	r.Gauge("nwserve_retained_result_bytes",
+		"Approximate memory pinned by finished jobs still pollable.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.retainedBytes)
+		})
+
+	r.Counter("nwserve_result_cache_hits_total", "Result cache hits.", func() float64 {
+		return float64(s.cache.stats().Hits)
+	})
+	r.Counter("nwserve_result_cache_misses_total", "Result cache misses.", func() float64 {
+		return float64(s.cache.stats().Misses)
+	})
+	r.Counter("nwserve_result_cache_evictions_total", "Result cache evictions.", func() float64 {
+		return float64(s.cache.stats().Evictions)
+	})
+	r.Gauge("nwserve_result_cache_entries", "Results currently cached.", func() float64 {
+		return float64(s.cache.stats().Size)
+	})
+	r.Gauge("nwserve_result_cache_bytes", "Approximate bytes of cached results.", func() float64 {
+		return float64(s.cache.stats().Bytes)
+	})
+
+	r.Gauge("nwserve_store_graphs", "Distinct graphs ingested.", func() float64 {
+		return float64(s.store.Stats().Graphs)
+	})
+	r.Gauge("nwserve_store_warm_graphs", "Parsed graphs held in the warm LRU.", func() float64 {
+		return float64(s.store.Stats().Warm)
+	})
+	r.Gauge("nwserve_store_warm_bytes", "Approximate heap held by warm parsed graphs.", func() float64 {
+		return float64(s.store.Stats().WarmBytes)
+	})
+	r.Gauge("nwserve_store_retained_bytes", "Raw bytes retained for upload-backed graphs.", func() float64 {
+		return float64(s.store.Stats().RetainedBytes)
+	})
+	r.Counter("nwserve_store_hits_total", "Graph lookups served from the warm LRU.", func() float64 {
+		return float64(s.store.Stats().Hits)
+	})
+	r.Counter("nwserve_store_misses_total", "Graph lookups that found the graph cold.", func() float64 {
+		return float64(s.store.Stats().Misses)
+	})
+	r.Counter("nwserve_store_evictions_total", "Parsed graphs dropped from the warm LRU.", func() float64 {
+		return float64(s.store.Stats().Evictions)
+	})
+	r.Counter("nwserve_store_mutations_total", "Graph versions derived by mutation batches.", func() float64 {
+		return float64(s.store.Stats().Mutations)
+	})
+
+	if s.persistLog == nil {
+		return
+	}
+	r.Counter("nwserve_wal_records_total", "WAL records appended since start.", func() float64 {
+		return float64(s.persistLog.Stats().WALRecords)
+	})
+	r.Gauge("nwserve_wal_bytes", "Current WAL size.", func() float64 {
+		return float64(s.persistLog.Stats().WALBytes)
+	})
+	r.Counter("nwserve_snapshots_total", "Snapshots written since start.", func() float64 {
+		return float64(s.persistLog.Stats().Snapshots)
+	})
+	r.Gauge("nwserve_last_snapshot_timestamp_seconds",
+		"Unix time of the newest snapshot (0 when none exists).", func() float64 {
+			t := s.persistLog.Stats().LastSnapshot
+			if t.IsZero() {
+				return 0
+			}
+			return float64(t.UnixNano()) / float64(time.Second)
+		})
+	r.Counter("nwserve_persist_graph_files_total", "Graph files written since start.", func() float64 {
+		return float64(s.persistLog.Stats().GraphFiles)
+	})
+	r.Counter("nwserve_persist_swept_files_total", "Graph files removed by retention sweeps.", func() float64 {
+		return float64(s.persistLog.Stats().SweptFiles)
+	})
+	r.Counter("nwserve_persist_errors_total", "Failed persistence operations.", func() float64 {
+		return float64(s.persistLog.Stats().Errors)
+	})
+	rec := s.recovery
+	r.Gauge("nwserve_recovered_graphs", "Graphs recovered from disk at startup.", func() float64 {
+		return float64(rec.GraphsRecovered)
+	})
+	r.Gauge("nwserve_recovered_results", "Cached results warmed from disk at startup.", func() float64 {
+		return float64(rec.ResultsWarmed)
+	})
+	r.Gauge("nwserve_recovered_wal_records", "WAL records replayed at startup.", func() float64 {
+		return float64(rec.WALRecords)
+	})
+}
+
+// MetricsHandler serves the service's registry in Prometheus text
+// exposition format; NewHTTPHandler mounts it at GET /metrics.
+func (s *Service) MetricsHandler() http.Handler {
+	return telemetry.Handler(s.metrics)
+}

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nwforest"
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+)
+
+// openTestService is newTestService for configurations that may fail to
+// open (persistence recovery).
+func openTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	return svc
+}
+
+func mustClose(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runDecompose(t *testing.T, svc *Service, spec JobSpec) *JobResult {
+	t.Helper()
+	j, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	snap := svc.Wait(ctx, j)
+	if snap.State != JobDone {
+		t.Fatalf("job %s finished as %s (%s), want done", snap.ID, snap.State, snap.Error)
+	}
+	return snap.Result
+}
+
+// TestGracefulRestartWarmStart is the basic durability story: a server
+// that ingested, mutated and computed, then shut down cleanly, comes
+// back with its graphs, version lineage and result cache intact — the
+// re-request is a cache hit with bit-identical output, and an
+// incremental job still finds the parent's warm decomposition to repair.
+func TestGracefulRestartWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, DataDir: dir}
+
+	svc := openTestService(t, cfg)
+	if rec := svc.Recovery(); !rec.Enabled || rec.GraphsRecovered != 0 {
+		t.Fatalf("fresh dir recovery %+v", rec)
+	}
+	parentInfo, err := svc.Store().AddBytes(encode(t, gen.ForestUnion(200, 3, 42)), graph.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childInfo, err := svc.Store().Mutate(parentInfo.ID, Mutation{Insert: [][2]int32{{0, 5}, {1, 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{GraphID: parentInfo.ID, Algorithm: "decompose",
+		Options: nwforest.Options{Alpha: 3, Eps: 0.5, Seed: 7}}
+	cold := runDecompose(t, svc, spec)
+	mustClose(t, svc)
+
+	svc2 := openTestService(t, cfg)
+	rec := svc2.Recovery()
+	if rec.GraphsRecovered != 2 || rec.LineageLinks != 1 || rec.ResultsWarmed != 1 {
+		t.Fatalf("recovery %+v, want 2 graphs / 1 lineage link / 1 result", rec)
+	}
+	// The final snapshot on Close is the regeneration point: nothing
+	// should have needed WAL replay.
+	if rec.WALRecords != 0 || rec.SnapshotAt.IsZero() {
+		t.Fatalf("recovery %+v, want snapshot-only restart", rec)
+	}
+	if _, ok := svc2.Store().Info(parentInfo.ID); !ok {
+		t.Fatal("parent graph lost across restart")
+	}
+	gotParent, _, ok := svc2.Store().MutationOf(childInfo.ID)
+	if !ok || gotParent != parentInfo.ID {
+		t.Fatalf("lineage lost across restart: parent=%q ok=%v", gotParent, ok)
+	}
+
+	// Identical request: served from the warmed cache without
+	// recomputation, bit-identical to the pre-restart result.
+	j, err := svc2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := j.Snapshot()
+	if snap.State != JobDone || !snap.Cached {
+		t.Fatalf("re-request state=%s cached=%v, want done from cache", snap.State, snap.Cached)
+	}
+	want, _ := json.Marshal(cold)
+	got, _ := json.Marshal(snap.Result)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("warmed result diverges:\n pre: %s\npost: %s", want, got)
+	}
+
+	// The warmed parent decomposition also serves as the incremental
+	// warm start for the child version.
+	incSpec := spec
+	incSpec.GraphID = childInfo.ID
+	incSpec.Mode = ModeIncremental
+	res := runDecompose(t, svc2, incSpec)
+	cg, err := svc2.Store().Get(childInfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nwforest.Verify(cg, res.Decomposition.Colors, res.Decomposition.NumForests); err != nil {
+		t.Fatalf("incremental result after restart invalid: %v", err)
+	}
+}
+
+// walEvent mirrors one WAL record the test expects service A to have
+// committed, in commit order.
+type walEvent struct {
+	kind   string // "graph" or "result"
+	id     string // graph ID (graph events)
+	parent string
+	key    string // cache key (result events)
+	value  []byte // canonical result JSON (result events)
+}
+
+// TestCrashRecoveryPrefixProperty is the crash-safety acceptance test: a
+// random sequence of uploads, mutations and decompositions runs against
+// a persisted service, then the WAL is cut at arbitrary byte offsets
+// (simulating a crash mid-append) and a fresh service recovers from each
+// cut. Every recovery must yield exactly the state of some prefix of the
+// committed operations — graphs, lineage and results of the intact
+// record prefix, nothing more, nothing partial — and recovered cached
+// results must be bit-identical to what the uncrashed service computed.
+// The full-length cut is the pure restart case and must reproduce
+// everything, including a cache hit on re-request.
+func TestCrashRecoveryPrefixProperty(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotInterval < 0: keep every record in the WAL so the cut
+	// offset alone decides the recovered prefix.
+	svc := openTestService(t, Config{Workers: 2, DataDir: dir, SnapshotInterval: -1})
+
+	rng := rand.New(rand.NewSource(1))
+	var events []walEvent
+	var ids []string
+	var resultSpecs []JobSpec
+	addGraph := func(info GraphInfo, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if id == info.ID {
+				return // idempotent re-ingest: no new WAL record
+			}
+		}
+		ids = append(ids, info.ID)
+		events = append(events, walEvent{kind: "graph", id: info.ID, parent: info.Parent})
+	}
+	for i := 0; i < 5; i++ {
+		addGraph(svc.Store().AddBytes(encode(t, gen.ForestUnion(20+3*i, 2, uint64(i))), graph.FormatAuto))
+	}
+	for op := 0; op < 8; op++ {
+		switch rng.Intn(2) {
+		case 0: // derive a version from a random existing graph
+			parent := ids[rng.Intn(len(ids))]
+			u, v := int32(rng.Intn(10)), int32(10+rng.Intn(10))
+			addGraph(svc.Store().Mutate(parent, Mutation{Insert: [][2]int32{{u, v}}}))
+		case 1: // compute (and persist) a result with a fresh seed
+			spec := JobSpec{GraphID: ids[rng.Intn(len(ids))], Algorithm: "decompose",
+				Options: nwforest.Options{Alpha: 2, Eps: 0.5, Seed: uint64(100 + op)}}
+			res := runDecompose(t, svc, spec)
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, walEvent{kind: "result", key: spec.CacheKey(), value: raw})
+			resultSpecs = append(resultSpecs, spec)
+		}
+	}
+	// One duplicated computation: the cache hit must not re-log a record.
+	if len(resultSpecs) > 0 {
+		j, err := svc.Submit(resultSpecs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap := j.Snapshot(); snap.State != JobDone || !snap.Cached {
+			t.Fatalf("duplicate submit state=%s cached=%v, want cache hit", snap.State, snap.Cached)
+		}
+	}
+
+	walData, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(svc.persistLog.Stats().WALRecords); got != len(events) {
+		t.Fatalf("WAL holds %d records, test expected to commit %d", got, len(events))
+	}
+	// Frame boundaries: each record is u32 length + u32 CRC + payload.
+	boundaries := map[int]int{0: 0} // byte offset -> records intact at it
+	recordsAt := make([]int, len(walData)+1)
+	for pos, n := 0, 0; pos < len(walData); {
+		size := int(binary.LittleEndian.Uint32(walData[pos : pos+4]))
+		next := pos + 8 + size
+		for off := pos; off < next && off <= len(walData); off++ {
+			recordsAt[off] = n
+		}
+		n++
+		boundaries[next] = n
+		pos = next
+		recordsAt[pos] = n
+	}
+
+	graphsIn := func(evs []walEvent) (m map[string]string) {
+		m = make(map[string]string)
+		for _, e := range evs {
+			if e.kind == "graph" {
+				m[e.id] = e.parent
+			}
+		}
+		return
+	}
+	resultsIn := func(evs []walEvent) (m map[string][]byte) {
+		m = make(map[string][]byte)
+		for _, e := range evs {
+			if e.kind == "result" {
+				m[e.key] = e.value
+			}
+		}
+		return
+	}
+
+	step := 13
+	for off := 0; off <= len(walData); off += step {
+		if off+step > len(walData) {
+			off = len(walData) // always test the uncut tail
+		}
+		cut := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(cut, "graphs"), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		names, err := os.ReadDir(filepath.Join(dir, "graphs"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, de := range names {
+			data, err := os.ReadFile(filepath.Join(dir, "graphs", de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(cut, "graphs", de.Name()), data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(cut, "wal.log"), walData[:off], 0o666); err != nil {
+			t.Fatal(err)
+		}
+
+		svc2, err := Open(Config{Workers: 1, DataDir: cut, SnapshotInterval: -1})
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", off, err)
+		}
+		rec := svc2.Recovery()
+		wantRecords := recordsAt[off]
+		if rec.WALRecords != wantRecords {
+			t.Fatalf("offset %d: replayed %d records, want %d", off, rec.WALRecords, wantRecords)
+		}
+		_, onBoundary := boundaries[off]
+		if rec.WALTruncated == onBoundary {
+			t.Fatalf("offset %d: WALTruncated=%v, boundary=%v", off, rec.WALTruncated, onBoundary)
+		}
+		prefix := events[:wantRecords]
+		wantGraphs, wantResults := graphsIn(prefix), resultsIn(prefix)
+		if rec.GraphsRecovered != len(wantGraphs) || rec.ResultsWarmed != len(wantResults) || rec.Corrupt != 0 {
+			t.Fatalf("offset %d: recovery %+v, want %d graphs / %d results",
+				off, rec, len(wantGraphs), len(wantResults))
+		}
+		for id, parent := range wantGraphs {
+			info, ok := svc2.Store().Info(id)
+			if !ok || info.Parent != parent {
+				t.Fatalf("offset %d: graph %s missing or wrong parent (%+v)", off, id, info)
+			}
+		}
+		for _, e := range events[wantRecords:] {
+			if e.kind != "graph" {
+				continue
+			}
+			if _, ok := wantGraphs[e.id]; ok {
+				continue
+			}
+			if _, ok := svc2.Store().Info(e.id); ok {
+				t.Fatalf("offset %d: graph %s from beyond the cut was recovered", off, e.id)
+			}
+		}
+		for key, want := range wantResults {
+			got, ok := svc2.cache.peek(key)
+			if !ok {
+				t.Fatalf("offset %d: result %q lost", off, key)
+			}
+			raw, _ := json.Marshal(got)
+			if !bytes.Equal(raw, want) {
+				t.Fatalf("offset %d: result %q not bit-identical:\n got %s\nwant %s", off, key, raw, want)
+			}
+		}
+
+		if off == len(walData) && len(resultSpecs) > 0 {
+			// Pure restart: re-requesting a persisted computation is a
+			// cache hit served without recomputation.
+			j, err := svc2.Submit(resultSpecs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap := j.Snapshot(); snap.State != JobDone || !snap.Cached {
+				t.Fatalf("full restart: re-request state=%s cached=%v", snap.State, snap.Cached)
+			}
+		}
+		mustClose(t, svc2)
+		if off == len(walData) {
+			break
+		}
+	}
+}
+
+// TestRetentionSweepAcrossRestart ages a persisted graph file past
+// Config.RetentionAge, checkpoints (which sweeps), and restarts: the
+// aged graph's bytes are gone from disk and the restarted service
+// reports it missing rather than resurrecting or failing on it.
+func TestRetentionSweepAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, DataDir: dir, RetentionAge: time.Hour, SnapshotInterval: -1}
+	svc := openTestService(t, cfg)
+	oldInfo, err := svc.Store().AddBytes(encode(t, gen.ForestUnion(30, 2, 1)), graph.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInfo, err := svc.Store().AddBytes(encode(t, gen.ForestUnion(40, 2, 2)), graph.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldFile := filepath.Join(dir, "graphs", oldInfo.ID[len("sha256:"):])
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(oldFile, past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(oldFile); !os.IsNotExist(err) {
+		t.Fatalf("aged graph file still present (err=%v)", err)
+	}
+	mustClose(t, svc)
+
+	svc2 := openTestService(t, cfg)
+	rec := svc2.Recovery()
+	if rec.MissingGraphs == 0 {
+		t.Fatalf("recovery %+v, want the swept graph reported missing", rec)
+	}
+	if _, ok := svc2.Store().Info(oldInfo.ID); ok {
+		t.Fatal("swept graph resurrected without its bytes")
+	}
+	if _, ok := svc2.Store().Info(newInfo.ID); !ok {
+		t.Fatal("fresh graph lost by the sweep")
+	}
+}

@@ -18,8 +18,10 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -30,8 +32,11 @@ import (
 
 	"nwforest"
 	"nwforest/internal/algo"
+	"nwforest/internal/dist"
 	"nwforest/internal/dynamic"
 	"nwforest/internal/graph"
+	"nwforest/internal/persist"
+	"nwforest/internal/telemetry"
 )
 
 // Config sizes a Service. The zero value gets sensible defaults.
@@ -67,6 +72,26 @@ type Config struct {
 	// DefaultTimeout applies to jobs that do not set TimeoutMillis
 	// (default 0 = no deadline).
 	DefaultTimeout time.Duration
+	// DataDir, when non-empty, enables the durability tier
+	// (internal/persist): every ingested graph and computed result is
+	// written through to this directory before the request is
+	// acknowledged, and Open recovers the store, version lineage and
+	// result cache from it on restart. Empty (the default) keeps the
+	// service purely in-memory.
+	DataDir string
+	// SnapshotInterval is how often the durability tier checkpoints its
+	// state and truncates the WAL (default 5m; < 0 disables the periodic
+	// loop, leaving only the final snapshot on Close). Ignored without
+	// DataDir.
+	SnapshotInterval time.Duration
+	// RetentionAge, when > 0, lets snapshot-time sweeps delete persisted
+	// graph files older than this even if still referenced; 0 keeps
+	// referenced files indefinitely. Unreferenced files and the
+	// MaxStoreBytes byte budget are always enforced.
+	RetentionAge time.Duration
+	// Logger, when non-nil, receives structured request and job logs and
+	// the persistence tier's error reports. Nil disables logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 1024
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Minute
 	}
 	return c
 }
@@ -132,16 +160,28 @@ func AlgorithmInfos() []AlgorithmInfo {
 	return out
 }
 
-// Service is the serving subsystem. Create with New, stop with Close.
+// Service is the serving subsystem. Create with Open (or New when
+// persistence is off), stop with Close.
 type Service struct {
 	cfg   Config
 	store *Store
 	cache *resultCache
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	queue   chan *Job
-	wg      sync.WaitGroup
+	// persistLog is the durability tier (nil when Config.DataDir is
+	// empty); recovery describes what Open reconstructed from it.
+	persistLog *persist.Log
+	recovery   RecoveryInfo
+	logger     *slog.Logger
+
+	metrics      *telemetry.Registry
+	jobDurations *telemetry.HistogramVec
+
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	queue    chan *Job
+	wg       sync.WaitGroup
+	snapStop chan struct{} // stops the periodic snapshot loop
+	snapDone chan struct{} // closed when the loop has exited
 
 	mu            sync.Mutex
 	closed        bool
@@ -158,25 +198,189 @@ type Service struct {
 	execHook func(ctx context.Context, g *graph.Graph, spec JobSpec) (*JobResult, error)
 }
 
-// New starts a Service with cfg's worker pool running.
+// New starts a Service with cfg's worker pool running. It panics if cfg
+// enables persistence and recovery fails; use Open to handle that error
+// (New predates the durability tier and is kept for the pure in-memory
+// configuration, where no error is possible).
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a Service. When cfg.DataDir is set it first recovers the
+// graph store, version lineage and result cache from disk (see
+// Recovery for what was found) and turns on write-through durability
+// for everything ingested or computed afterwards.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
 		store:    NewStore(cfg.GraphCapacity, cfg.MaxStoreBytes),
 		cache:    newResultCache(cfg.ResultCapacity, cfg.ResultCacheBytes),
+		logger:   cfg.Logger,
 		baseCtx:  ctx,
 		stop:     cancel,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	if cfg.DataDir != "" {
+		if err := s.openPersistence(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	s.initMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if s.persistLog != nil && cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotInterval)
+	}
+	return s, nil
+}
+
+// RecoveryInfo describes what Open reconstructed from Config.DataDir.
+type RecoveryInfo struct {
+	// Enabled reports that the durability tier is on at all.
+	Enabled bool `json:"enabled"`
+	// GraphsRecovered counts graphs re-ingested from disk; LineageLinks
+	// counts how many of them carry a parent version link.
+	GraphsRecovered int `json:"graphsRecovered"`
+	LineageLinks    int `json:"lineageLinks"`
+	// ResultsWarmed counts cached results restored into the result cache.
+	ResultsWarmed int `json:"resultsWarmed"`
+	// WALRecords counts intact WAL records replayed; WALTruncated reports
+	// that a torn record (crash mid-append) was cut from the tail.
+	WALRecords   int  `json:"walRecords"`
+	WALTruncated bool `json:"walTruncated"`
+	// SnapshotAt is the recovered snapshot's save time (zero if none).
+	SnapshotAt time.Time `json:"snapshotAt,omitempty"`
+	// MissingGraphs counts records whose data file was gone (retention
+	// sweeps); Corrupt counts records whose bytes failed content-address
+	// verification or re-parsing and were dropped.
+	MissingGraphs int `json:"missingGraphs"`
+	Corrupt       int `json:"corrupt"`
+}
+
+// Recovery returns what Open reconstructed from disk; the zero value
+// (Enabled false) means persistence is off.
+func (s *Service) Recovery() RecoveryInfo { return s.recovery }
+
+// openPersistence opens cfg.DataDir, replays its state into the store
+// and result cache, and attaches write-through persistence. Every
+// recovered graph is re-verified against its content address before it
+// is served again.
+func (s *Service) openPersistence() error {
+	log, err := persist.Open(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	rec, err := log.Recover()
+	if err != nil {
+		log.Close()
+		return err
+	}
+	info := RecoveryInfo{
+		Enabled:       true,
+		WALRecords:    rec.WALRecords,
+		WALTruncated:  rec.WALTruncated,
+		SnapshotAt:    rec.SnapshotAt,
+		MissingGraphs: rec.MissingGraphs,
+	}
+	for _, g := range rec.Graphs {
+		if hashID(graph.Format(g.Format), g.Data) != g.ID {
+			info.Corrupt++
+			continue
+		}
+		var mut *Mutation
+		if len(g.Mutation) > 0 {
+			mut = new(Mutation)
+			if err := json.Unmarshal(g.Mutation, mut); err != nil {
+				mut = nil
+			}
+		}
+		// Re-ingest through the normal path (pre-attach, so nothing is
+		// re-persisted): the graph is re-parsed, warmed, and the upload
+		// budget is enforced in original ingest order.
+		added, err := s.store.add(g.Data, graph.Format(g.Format), "", g.Parent, mut)
+		if err != nil {
+			info.Corrupt++
+			continue
+		}
+		info.GraphsRecovered++
+		if added.Parent != "" {
+			info.LineageLinks++
+		}
+	}
+	for _, r := range rec.Results {
+		gid, _, ok := strings.Cut(r.Key, "|")
+		if !ok {
+			continue
+		}
+		if _, known := s.store.Info(gid); !known {
+			continue // its graph aged out; a dangling result would never hit
+		}
+		res := new(JobResult)
+		if err := json.Unmarshal(r.Value, res); err != nil {
+			continue
+		}
+		s.cache.put(r.Key, res)
+		info.ResultsWarmed++
+	}
+	s.store.attachPersist(log)
+	s.persistLog = log
+	s.recovery = info
+	return nil
+}
+
+// snapshotLoop checkpoints the durability tier every interval until
+// Close stops it.
+func (s *Service) snapshotLoop(interval time.Duration) {
+	defer close(s.snapDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.SnapshotNow(); err != nil && s.logger != nil {
+				s.logger.Error("snapshot failed", "err", err)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// SnapshotNow checkpoints the durability tier immediately: the store's
+// graph metadata and the result cache are written as an atomic snapshot,
+// the WAL is truncated, and a retention sweep removes graph files that
+// are no longer referenced, too old (Config.RetentionAge), or beyond the
+// store's byte budget. It errors when persistence is not enabled.
+func (s *Service) SnapshotNow() error {
+	if s.persistLog == nil {
+		return errors.New("service: persistence not enabled")
+	}
+	if err := s.persistLog.Snapshot(s.store.exportPersist(), s.cache.export()); err != nil {
+		return err
+	}
+	live := make(map[string]bool)
+	for _, info := range s.store.List() {
+		live[info.ID] = true
+	}
+	maxBytes := s.cfg.MaxStoreBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxSourceBytes
+	}
+	_, err := s.persistLog.Sweep(func(id string) bool { return live[id] }, s.cfg.RetentionAge, maxBytes)
+	return err
 }
 
 // Store exposes the graph store for ingestion.
@@ -240,7 +444,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+		hub:     newEventHub(),
 	}
+	j.hub.publish(JobEvent{Type: "state", State: JobQueued})
 
 	key := spec.CacheKey()
 	if res, ok := s.cache.get(key); ok {
@@ -425,7 +631,8 @@ func (s *Service) runJob(j *Job) {
 		}
 		return
 	}
-	if !j.tryStart(time.Now()) {
+	started := time.Now()
+	if !j.tryStart(started) {
 		return // canceled while queued; whoever finished it pruned it
 	}
 	type outcome struct {
@@ -433,6 +640,10 @@ func (s *Service) runJob(j *Job) {
 		err error
 	}
 	ch := make(chan outcome, 1)
+	// The job's event hub rides down into the algorithm as the cost
+	// account's progress hook, so SSE subscribers see phases and rounds
+	// as they are charged.
+	execCtx := dist.WithProgress(j.ctx, j.hub.progress)
 	go func() {
 		defer func() {
 			// A panicking algorithm must fail its job, not kill the daemon.
@@ -440,7 +651,7 @@ func (s *Service) runJob(j *Job) {
 				ch <- outcome{nil, fmt.Errorf("service: algorithm panicked: %v", r)}
 			}
 		}()
-		res, err := s.execute(j.ctx, j.spec)
+		res, err := s.execute(execCtx, j.spec, j.hub)
 		ch <- outcome{res, err}
 	}()
 	finished := false
@@ -455,6 +666,8 @@ func (s *Service) runJob(j *Job) {
 			finished = j.finish(time.Now(), JobFailed, nil, out.err.Error(), false)
 		default:
 			s.cache.put(j.spec.CacheKey(), out.res)
+			s.persistResult(j.spec.CacheKey(), out.res)
+			s.observeJobDuration(j.spec.Algorithm, time.Since(started))
 			finished = j.finish(time.Now(), JobDone, out.res, "", false)
 		}
 	case <-j.ctx.Done():
@@ -462,6 +675,32 @@ func (s *Service) runJob(j *Job) {
 	}
 	if finished {
 		s.pruneFinished(j)
+	}
+}
+
+// persistResult writes a computed result through to the durability tier
+// so a restarted server serves it from cache. A persist failure degrades
+// durability, not the job: the result is valid and already cached, so it
+// is logged (and counted in persist.Stats.Errors) rather than failing a
+// finished computation.
+func (s *Service) persistResult(key string, res *JobResult) {
+	if s.persistLog == nil {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err == nil {
+		err = s.persistLog.AppendResult(key, raw)
+	}
+	if err != nil && s.logger != nil {
+		s.logger.Error("persist result failed", "key", key, "err", err)
+	}
+}
+
+// observeJobDuration records a completed computation in the per-algorithm
+// latency histogram (cache hits and followers never reach it).
+func (s *Service) observeJobDuration(algorithm string, d time.Duration) {
+	if s.jobDurations != nil {
+		s.jobDurations.Observe(algorithm, d.Seconds())
 	}
 }
 
@@ -479,6 +718,23 @@ type finishedRec struct {
 // Exactly one caller runs this per job — the finish() winner.
 func (s *Service) pruneFinished(j *Job) {
 	snap := j.Snapshot()
+	if s.logger != nil {
+		attrs := []any{
+			"id", snap.ID,
+			"algorithm", snap.Spec.Algorithm,
+			"graph", snap.Spec.GraphID,
+			"state", string(snap.State),
+			"cached", snap.Cached,
+		}
+		if snap.FinishedAt != nil {
+			attrs = append(attrs, "durationMs",
+				float64(snap.FinishedAt.Sub(snap.CreatedAt).Microseconds())/1000)
+		}
+		if snap.Error != "" {
+			attrs = append(attrs, "err", snap.Error)
+		}
+		s.logger.Info("job finished", attrs...)
+	}
 	// Cache hits and dedup followers share one *JobResult with the cache
 	// entry (and with each other), so only an actually-computed result
 	// counts its full size toward retention; shared references pin ~0
@@ -512,8 +768,10 @@ func (s *Service) pruneFinished(j *Job) {
 }
 
 // execute fetches the graph and dispatches to the requested entry point,
-// verifying decompositions before returning them.
-func (s *Service) execute(ctx context.Context, spec JobSpec) (*JobResult, error) {
+// verifying decompositions before returning them. hub (may be nil in
+// direct calls) receives incremental repair summaries; phase/round
+// progress arrives through the dist.Progress hook already on ctx.
+func (s *Service) execute(ctx context.Context, spec JobSpec, hub *eventHub) (*JobResult, error) {
 	g, err := s.store.Get(spec.GraphID)
 	if err != nil {
 		return nil, err
@@ -522,7 +780,7 @@ func (s *Service) execute(ctx context.Context, spec JobSpec) (*JobResult, error)
 		return s.execHook(ctx, g, spec)
 	}
 	if spec.effectiveMode() == ModeIncremental {
-		if res, ok := s.tryIncremental(g, spec); ok {
+		if res, ok := s.tryIncremental(ctx, g, spec, hub); ok {
 			return res, nil
 		}
 		// No lineage or no warm start: incremental degrades to a full
@@ -540,7 +798,7 @@ func (s *Service) execute(ctx context.Context, spec JobSpec) (*JobResult, error)
 // it is returned, exactly like a cold result. It reports false whenever
 // any ingredient is missing, in which case the caller falls back to a
 // full run.
-func (s *Service) tryIncremental(g *graph.Graph, spec JobSpec) (*JobResult, bool) {
+func (s *Service) tryIncremental(ctx context.Context, g *graph.Graph, spec JobSpec, hub *eventHub) (*JobResult, bool) {
 	parentID, mut, ok := s.store.MutationOf(spec.GraphID)
 	if !ok {
 		return nil, false
@@ -568,6 +826,9 @@ func (s *Service) tryIncremental(g *graph.Graph, spec JobSpec) (*JobResult, bool
 	if err != nil {
 		return nil, false
 	}
+	// Repair rounds are charged to the maintainer's own cost account;
+	// forward them to the same progress hook a full run would use.
+	m.Cost().SetProgress(dist.ProgressFromContext(ctx))
 	for _, id := range mut.Delete {
 		if err := m.DeleteEdge(id); err != nil {
 			return nil, false
@@ -588,6 +849,8 @@ func (s *Service) tryIncremental(g *graph.Graph, spec JobSpec) (*JobResult, bool
 	if err := nwforest.Verify(g, colors, k); err != nil {
 		return nil, false
 	}
+	stats := m.Stats()
+	hub.publish(JobEvent{Type: "repair", Repair: &stats})
 	cost := m.Cost()
 	return &JobResult{Decomposition: &nwforest.Decomposition{
 		Colors:     colors,
@@ -692,10 +955,25 @@ func (s *Service) Close(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("service: shutdown timed out: %w", ctx.Err())
+		err = fmt.Errorf("service: shutdown timed out: %w", ctx.Err())
 	}
+	if s.persistLog != nil {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+		// A final checkpoint makes the next start replay nothing; any
+		// failure here still leaves the WAL intact for recovery.
+		if serr := s.SnapshotNow(); serr != nil && s.logger != nil {
+			s.logger.Error("final snapshot failed", "err", serr)
+		}
+		if cerr := s.persistLog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

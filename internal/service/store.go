@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -13,6 +14,7 @@ import (
 
 	"nwforest/internal/dynamic"
 	"nwforest/internal/graph"
+	"nwforest/internal/persist"
 )
 
 // Store ingests graphs, content-addresses them by the SHA-256 of their
@@ -40,7 +42,19 @@ type Store struct {
 	maxSourceBytes int64
 	warmBytes      int64 // Footprint sum of the warm parsed graphs
 
+	// persistLog, when set, makes every successful add write-through to
+	// disk before it is acknowledged. Recovery replays call add before
+	// attachPersist so recovered graphs are not re-persisted.
+	persistLog *persist.Log
+
 	hits, misses, evictions, reparses, sourceEvictions, mutations int64
+}
+
+// attachPersist turns on write-through durability for subsequent adds.
+func (s *Store) attachPersist(l *persist.Log) {
+	s.mu.Lock()
+	s.persistLog = l
+	s.mu.Unlock()
 }
 
 // warmPut warms a parsed graph, keeping warmBytes in sync. Must be
@@ -252,9 +266,10 @@ func (s *Store) add(data []byte, f graph.Format, path, parent string, mut *Mutat
 		src.data = data
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if existing, ok := s.sources[id]; ok { // lost a race with an identical upload
-		return existing.info, nil
+		info := existing.info
+		s.mu.Unlock()
+		return info, nil
 	}
 	s.sources[id] = src
 	s.warmPut(id, g)
@@ -280,7 +295,66 @@ func (s *Store) add(data []byte, f graph.Format, path, parent string, mut *Mutat
 			s.sourceEvictions++
 		}
 	}
+	pl := s.persistLog
+	s.mu.Unlock()
+
+	// Write-through, outside the lock (each append fsyncs): the ack a
+	// client gets implies the graph is durable. A persist failure is
+	// surfaced as an error even though the in-memory entry stands — the
+	// graph is servable, but the durability contract was not met.
+	if pl != nil {
+		meta, err := persistMeta(info, mut)
+		if err == nil {
+			err = pl.AppendGraph(meta, data)
+		}
+		if err != nil {
+			return info, fmt.Errorf("service: persisting graph %s: %w", id, err)
+		}
+	}
 	return info, nil
+}
+
+// persistMeta converts a stored graph's identity to its durable record.
+func persistMeta(info GraphInfo, mut *Mutation) (persist.GraphMeta, error) {
+	meta := persist.GraphMeta{ID: info.ID, Format: info.Format, Parent: info.Parent}
+	if mut != nil {
+		raw, err := json.Marshal(mut)
+		if err != nil {
+			return meta, err
+		}
+		meta.Mutation = raw
+	}
+	return meta, nil
+}
+
+// exportPersist returns the durable metadata of every stored graph for a
+// snapshot: upload-backed graphs in ingest order (parents precede the
+// children derived from them), then file-backed graphs by ID.
+func (s *Store) exportPersist() []persist.GraphMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]persist.GraphMeta, 0, len(s.sources))
+	addMeta := func(src *graphSource) {
+		if meta, err := persistMeta(src.info, src.mut); err == nil {
+			out = append(out, meta)
+		}
+	}
+	for _, id := range s.uploadOrder {
+		if src, ok := s.sources[id]; ok {
+			addMeta(src)
+		}
+	}
+	var fileIDs []string
+	for id, src := range s.sources {
+		if src.path != "" {
+			fileIDs = append(fileIDs, id)
+		}
+	}
+	sort.Strings(fileIDs)
+	for _, id := range fileIDs {
+		addMeta(s.sources[id])
+	}
+	return out
 }
 
 // resolveFormat turns an auto format request into the concrete detected

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// LogRequests wraps next with structured per-request logging: one
+// slog.Info line per completed request with method, path, status,
+// response bytes and wall time. A nil logger returns next unchanged, so
+// callers can make logging strictly opt-in.
+func LogRequests(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"durationMs", float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+// statusRecorder captures the status code and body size. It forwards
+// Flush so streaming handlers (SSE) keep working behind the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// ErrStreamingUnsupported is returned by NewSSEWriter when the
+// ResponseWriter cannot flush (no streaming transport underneath).
+var ErrStreamingUnsupported = errors.New("telemetry: response writer does not support streaming")
+
+// SSEWriter writes server-sent events (text/event-stream) and flushes
+// after every event, so each event reaches the client as it happens
+// rather than sitting in a buffer until the handler returns.
+type SSEWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+// NewSSEWriter prepares w for an SSE stream: it sets the event-stream
+// headers and writes them out. Call it before any other write on w.
+func NewSSEWriter(w http.ResponseWriter) (*SSEWriter, error) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return nil, ErrStreamingUnsupported
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	// Tell buffering reverse proxies (nginx) to pass events through.
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return &SSEWriter{w: w, fl: fl}, nil
+}
+
+// Send writes one event with the given event name and a JSON-encoded
+// data payload, then flushes.
+func (s *SSEWriter) Send(event string, data any) error {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write([]byte("event: " + event + "\ndata: ")); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return err
+	}
+	if _, err := s.w.Write([]byte("\n\n")); err != nil {
+		return err
+	}
+	s.fl.Flush()
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package telemetry is the observability toolkit behind the serving
+// stack: a dependency-free metrics registry that renders the Prometheus
+// text exposition format, a server-sent-events (SSE) writer for per-job
+// progress streams, and a structured (slog) HTTP request-logging
+// middleware. It knows nothing about graphs or jobs — internal/service
+// wires its counters and streams into these primitives.
+//
+// The registry is pull-based for counters and gauges: a metric is
+// registered with a collect function that is invoked at scrape time, so
+// existing atomic counters (store stats, cache stats, WAL stats) are
+// exposed without shadow bookkeeping. Histograms are push-based
+// (Observe) because their bucket state has no other home.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a sample. Labels on a sample must be
+// in a fixed order chosen by the caller (the renderer preserves it).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one rendered time-series point: an optional label set and a
+// value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// metric kinds, rendered as the TYPE line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one registered metric name: HELP, TYPE and a way to collect
+// its current samples.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	collect func() []Sample // counters and gauges
+	hist    *HistogramVec   // histograms
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// expected at setup time; collection may run concurrently with Observe.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// register panics on an invalid or duplicate name: metric registration
+// happens at service setup, so a bad name is a programming error, not a
+// runtime condition.
+func (r *Registry) register(f *family) {
+	if !validName.MatchString(f.name) {
+		panic("telemetry: invalid metric name " + strconv.Quote(f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("telemetry: duplicate metric " + f.name)
+	}
+	r.names[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// Counter registers a single monotone counter whose value is pulled
+// from fn at scrape time. fn must be safe for concurrent use and must
+// never decrease.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindCounter,
+		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// CounterVec registers a labeled counter family; fn returns the current
+// samples (monotone per label set).
+func (r *Registry) CounterVec(name, help string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, kind: kindCounter, collect: fn})
+}
+
+// Gauge registers a single gauge whose value is pulled from fn at
+// scrape time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge,
+		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// GaugeVec registers a labeled gauge family; fn returns the current
+// samples.
+func (r *Registry) GaugeVec(name, help string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, kind: kindGauge, collect: fn})
+}
+
+// DefDurationBuckets are the default histogram buckets for latencies in
+// seconds: 1ms to ~100s, roughly trebling.
+var DefDurationBuckets = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+
+// Histogram registers a push-model histogram family partitioned by one
+// label (pass labelName "" for an unlabeled histogram) and returns the
+// vec to Observe into. Buckets are upper bounds in increasing order; a
+// final +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help, labelName string, buckets []float64) *HistogramVec {
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic("telemetry: histogram buckets must be strictly increasing")
+		}
+	}
+	hv := &HistogramVec{
+		label:   labelName,
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*histSeries),
+	}
+	r.register(&family{name: name, help: help, kind: kindHistogram, hist: hv})
+	return hv
+}
+
+// HistogramVec is a set of histograms sharing buckets, partitioned by
+// one label value. Safe for concurrent Observe and scrape.
+type HistogramVec struct {
+	mu      sync.Mutex
+	label   string
+	buckets []float64
+	series  map[string]*histSeries
+	order   []string // label values in first-observation order
+}
+
+type histSeries struct {
+	counts []uint64 // per bucket, non-cumulative
+	count  uint64
+	sum    float64
+}
+
+// Observe records v in the series for labelValue (use "" with an
+// unlabeled histogram).
+func (h *HistogramVec) Observe(labelValue string, v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.series[labelValue]
+	if !ok {
+		s = &histSeries{counts: make([]uint64, len(h.buckets))}
+		h.series[labelValue] = s
+		h.order = append(h.order, labelValue)
+	}
+	s.count++
+	s.sum += v
+	for i, ub := range h.buckets {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.hist != nil {
+			f.hist.write(&b, f.name)
+			continue
+		}
+		for _, s := range f.collect() {
+			b.WriteString(f.name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// write renders one histogram family: cumulative _bucket series with an
+// le label, then _sum and _count, per label value.
+func (h *HistogramVec) write(b *strings.Builder, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, lv := range h.order {
+		s := h.series[lv]
+		base := []Label(nil)
+		if h.label != "" {
+			base = []Label{{h.label, lv}}
+		}
+		var cum uint64
+		for i, ub := range h.buckets {
+			cum += s.counts[i]
+			b.WriteString(name + "_bucket")
+			writeLabels(b, append(base[:len(base):len(base)], Label{"le", formatValue(ub)}))
+			fmt.Fprintf(b, " %d\n", cum)
+		}
+		b.WriteString(name + "_bucket")
+		writeLabels(b, append(base[:len(base):len(base)], Label{"le", "+Inf"}))
+		fmt.Fprintf(b, " %d\n", s.count)
+		b.WriteString(name + "_sum")
+		writeLabels(b, base)
+		fmt.Fprintf(b, " %s\n", formatValue(s.sum))
+		b.WriteString(name + "_count")
+		writeLabels(b, base)
+		fmt.Fprintf(b, " %d\n", s.count)
+	}
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with infinities spelled +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// SortSamples orders samples by their rendered label sets, for
+// collectors that gather from maps and want deterministic output.
+func SortSamples(samples []Sample) []Sample {
+	sort.Slice(samples, func(i, j int) bool {
+		a, b := samples[i].Labels, samples[j].Labels
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k].Value != b[k].Value {
+				return a[k].Value < b[k].Value
+			}
+		}
+		return len(a) < len(b)
+	})
+	return samples
+}

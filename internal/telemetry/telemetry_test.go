@@ -1,0 +1,150 @@
+package telemetry_test
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nwforest/internal/telemetry"
+)
+
+func TestWritePrometheusRendersAllKinds(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("jobs_total", "Jobs ever submitted.", func() float64 { return 42 })
+	r.Gauge("queue_depth", "Jobs waiting.", func() float64 { return 3 })
+	r.GaugeVec("jobs", "Jobs by state.", func() []telemetry.Sample {
+		return telemetry.SortSamples([]telemetry.Sample{
+			{Labels: []telemetry.Label{{Name: "state", Value: "running"}}, Value: 1},
+			{Labels: []telemetry.Label{{Name: "state", Value: `do"ne\`}}, Value: 2},
+		})
+	})
+	h := r.Histogram("latency_seconds", "Job latency.", "algorithm", []float64{0.1, 1, 10})
+	h.Observe("decompose", 0.05)
+	h.Observe("decompose", 5)
+	h.Observe("orient", 100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := telemetry.ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("self-rendered exposition is invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 42",
+		"queue_depth 3",
+		`jobs{state="do\"ne\\"} 2`,
+		`latency_seconds_bucket{algorithm="decompose",le="0.1"} 1`,
+		`latency_seconds_bucket{algorithm="decompose",le="10"} 2`,
+		`latency_seconds_bucket{algorithm="decompose",le="+Inf"} 2`,
+		`latency_seconds_sum{algorithm="decompose"} 5.05`,
+		`latency_seconds_count{algorithm="orient"} 1`,
+		`latency_seconds_bucket{algorithm="orient",le="10"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"undeclared_metric 1\n",
+		"# TYPE x counter\nx{l=unquoted} 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE h histogram\nh 3\n", // bare histogram sample
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n", // non-cumulative
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",                       // +Inf != count
+	} {
+		if err := telemetry.ValidateExposition([]byte(bad)); err == nil {
+			t.Errorf("validator accepted malformed payload %q", bad)
+		}
+	}
+}
+
+func TestRegistryConcurrentObserveAndScrape(t *testing.T) {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("d_seconds", "d", "a", telemetry.DefDurationBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe("x", float64(i*j)/100)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `d_seconds_count{a="x"} 2000`) {
+		t.Fatalf("lost observations:\n%s", b.String())
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Gauge("up", "1 when serving.", func() float64 { return 1 })
+	srv := httptest.NewServer(telemetry.Handler(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var body strings.Builder
+	for sc.Scan() {
+		body.WriteString(sc.Text() + "\n")
+	}
+	if err := telemetry.ValidateExposition([]byte(body.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "up 1\n") {
+		t.Fatalf("missing sample:\n%s", body.String())
+	}
+}
+
+func TestSSEWriterStreamsEvents(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sse, err := telemetry.NewSSEWriter(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sse.Send("progress", map[string]int{"rounds": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	want := "event: progress\ndata: {\"rounds\":7}\n\n"
+	if rec.Body.String() != want {
+		t.Fatalf("body %q, want %q", rec.Body.String(), want)
+	}
+	if !rec.Flushed {
+		t.Fatal("SSE writer did not flush")
+	}
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that a /metrics payload is well-formed
+// Prometheus text format: every line is a HELP/TYPE comment or a
+// sample, every sample's base name was declared by a preceding TYPE
+// line, label syntax is intact, values parse, and histogram bucket
+// series are cumulative and consistent with their _count. It backs the
+// acceptance tests for the /metrics endpoint; production scrapes never
+// call it.
+func ValidateExposition(payload []byte) error {
+	type familyInfo struct{ kind string }
+	families := make(map[string]familyInfo)
+	// Histogram consistency: per full sample key, the running state.
+	infCount := make(map[string]float64)   // _bucket le="+Inf" value per label set
+	countValue := make(map[string]float64) // _count value per label set
+	lastBucket := make(map[string]float64) // last cumulative bucket per label set
+
+	lines := strings.Split(string(payload), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("metrics line %d %q: %s", ln+1, line, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				return fail("truncated comment")
+			}
+			if !validName.MatchString(parts[2]) {
+				return fail("invalid metric name %q", parts[2])
+			}
+			if parts[1] == "TYPE" {
+				switch parts[3] {
+				case kindCounter, kindGauge, kindHistogram, "summary", "untyped":
+				default:
+					return fail("unknown type %q", parts[3])
+				}
+				families[parts[2]] = familyInfo{kind: parts[3]}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		base := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, sfx) {
+				if f, ok := families[strings.TrimSuffix(name, sfx)]; ok && f.kind == kindHistogram {
+					base, suffix = strings.TrimSuffix(name, sfx), sfx
+				}
+				break
+			}
+		}
+		f, ok := families[base]
+		if !ok {
+			return fail("sample for undeclared metric %q", base)
+		}
+		if f.kind == kindHistogram && suffix == "" {
+			return fail("histogram %q has a bare sample", base)
+		}
+		if suffix == "_bucket" {
+			le, rest, err := splitLE(labels)
+			if err != nil {
+				return fail("%v", err)
+			}
+			key := base + "{" + rest + "}"
+			if value < lastBucket[key] {
+				return fail("bucket series for %s is not cumulative", key)
+			}
+			lastBucket[key] = value
+			if le == "+Inf" {
+				infCount[key] = value
+			}
+		}
+		if suffix == "_count" {
+			countValue[base+"{"+labels+"}"] = value
+		}
+	}
+	for key, c := range countValue {
+		if inf, ok := infCount[key]; !ok || inf != c {
+			return fmt.Errorf("histogram %s: le=\"+Inf\" bucket %v != _count %v", key, infCount[key], c)
+		}
+	}
+	return nil
+}
+
+var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="((?:[^"\\]|\\.)*)"$`)
+
+// parseSample splits `name{labels} value` into its parts, validating
+// each. labels is returned as the raw text between the braces.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, fmt.Errorf("no value separator")
+	}
+	head, val := line[:sp], line[sp+1:]
+	value, err = parseValue(val)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", val, err)
+	}
+	if i := strings.IndexByte(head, '{'); i >= 0 {
+		if !strings.HasSuffix(head, "}") {
+			return "", "", 0, fmt.Errorf("unterminated label set")
+		}
+		name, labels = head[:i], head[i+1:len(head)-1]
+		for _, l := range strings.Split(labels, ",") {
+			if !labelRE.MatchString(l) {
+				return "", "", 0, fmt.Errorf("bad label %q", l)
+			}
+		}
+	} else {
+		name = head
+	}
+	if !validName.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLE extracts the le label from a _bucket label set and returns
+// the remaining labels (the series identity).
+func splitLE(labels string) (le, rest string, err error) {
+	var kept []string
+	for _, l := range strings.Split(labels, ",") {
+		if v, ok := strings.CutPrefix(l, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("_bucket sample without le label: {%s}", labels)
+	}
+	return le, strings.Join(kept, ","), nil
+}
