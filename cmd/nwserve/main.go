@@ -58,7 +58,8 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 	dataDir := flag.String("data-dir", "", "persistence directory: WAL + snapshots + graph bytes (empty = in-memory only)")
 	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "how often the durability tier checkpoints and truncates its WAL")
-	retention := flag.Duration("retention", 0, "age bound for persisted graph bytes (0 = keep while referenced)")
+	retention := flag.Duration("retention", 0, "age bound for persisted graph files, applied even while referenced (0 = keep while referenced)")
+	diskBytes := flag.Int64("disk-bytes", 0, "persisted graph bytes retained before the oldest files are swept (0 = inherit -store-bytes, negative = unlimited)")
 	logMode := flag.String("log", "text", "structured log format on stderr: text, json, or off")
 	flag.Parse()
 
@@ -84,6 +85,7 @@ func main() {
 		DataDir:          *dataDir,
 		SnapshotInterval: *snapshotInterval,
 		RetentionAge:     *retention,
+		MaxDiskBytes:     *diskBytes,
 		Logger:           logger,
 	})
 	if err != nil {
@@ -101,6 +103,8 @@ func main() {
 			"resultsWarmed", rec.ResultsWarmed,
 			"walRecords", rec.WALRecords,
 			"walTruncated", rec.WALTruncated,
+			"walDiscardedBytes", rec.WALBytesDiscarded,
+			"walCorruptMidLog", rec.WALCorruptMidLog,
 			"snapshotAge", snapshotAge,
 			"missingGraphs", rec.MissingGraphs,
 			"corrupt", rec.Corrupt)

@@ -28,9 +28,15 @@
 // byte is verifiable, and replaying a record twice (snapshot + an
 // untruncated WAL after a crash between the two steps) is idempotent.
 //
-// Retention: Sweep deletes graph files that the store no longer
-// references, then enforces an age bound and a byte budget oldest-first,
-// so the disk tier honors the same limits as the in-memory store.
+// Retention: Sweep deletes graph files that the live predicate rejects
+// (the store evicted or never knew them), then enforces an age bound
+// and a byte budget oldest-first. The age and byte bounds apply to
+// referenced files too — they deliberately trade durability for disk:
+// a swept graph keeps serving from memory, but recovery will report it
+// missing. Checkpoint runs export + snapshot + WAL truncation + sweep
+// under a barrier that excludes concurrent appends, so a record that
+// was fsynced (and acknowledged to a client) can never fall between
+// the captured state and the truncated WAL.
 package persist
 
 import (
@@ -125,6 +131,15 @@ type Stats struct {
 type Log struct {
 	dir string
 
+	// barrier serializes appends (shared) against Snapshot, Sweep and
+	// Checkpoint (exclusive). Without it, an append fsynced between a
+	// checkpoint's state capture and its WAL truncation would be in
+	// neither the snapshot nor the WAL — an acked record silently lost
+	// on the next restart. It also keeps AppendGraph's
+	// file-exists-so-skip-the-write fast path from racing a concurrent
+	// sweep's remove.
+	barrier sync.RWMutex
+
 	mu        sync.Mutex
 	wal       *os.File
 	walBytes  int64
@@ -186,9 +201,20 @@ type Recovered struct {
 	Results []ResultRecord
 	// WALRecords is how many intact WAL records were replayed.
 	WALRecords int
-	// WALTruncated reports that a torn record was found at the WAL tail
-	// and cut off.
+	// WALTruncated reports that a damaged record was found in the WAL
+	// and everything from it onward was cut off.
 	WALTruncated bool
+	// WALBytesDiscarded is how many bytes that cut dropped (0 when the
+	// tail was clean). A torn tail from a crash mid-append discards less
+	// than one frame.
+	WALBytesDiscarded int64
+	// WALCorruptMidLog reports that intact records existed past the
+	// damage point — mid-log corruption (bit rot, external truncation or
+	// overwrite), not the torn tail a crash leaves. Replay still stops at
+	// the damage (a recovered state must be a prefix of the committed
+	// one), but the discarded records were real acknowledged data, so
+	// operators should treat this as data loss, not a crash artifact.
+	WALCorruptMidLog bool
 	// SnapshotAt is the snapshot's save time (zero if none existed).
 	SnapshotAt time.Time
 	// MissingGraphs counts graph records whose data file was absent or
@@ -254,7 +280,7 @@ func (l *Log) Recover() (*Recovered, error) {
 		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
 	}
 
-	n, truncAt, err := replayWAL(l.wal, func(r record) {
+	n, dmg, err := replayWAL(l.wal, func(r record) {
 		switch r.Type {
 		case "graph":
 			if r.Graph != nil {
@@ -268,10 +294,12 @@ func (l *Log) Recover() (*Recovered, error) {
 		return nil, err
 	}
 	rec.WALRecords = n
-	if truncAt >= 0 {
+	if dmg != nil {
 		rec.WALTruncated = true
-		if err := l.wal.Truncate(truncAt); err != nil {
-			return nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		rec.WALBytesDiscarded = dmg.discarded
+		rec.WALCorruptMidLog = dmg.midLog
+		if err := l.wal.Truncate(dmg.at); err != nil {
+			return nil, fmt.Errorf("persist: truncating damaged WAL tail: %w", err)
 		}
 	}
 	end, err := l.wal.Seek(0, io.SeekEnd)
@@ -296,12 +324,19 @@ func (l *Log) Recover() (*Recovered, error) {
 	return rec, nil
 }
 
-// replayWAL scans r from the start, invoking apply for every intact
-// record. It returns the record count and, if a torn or corrupt record
-// was found, the byte offset to truncate at (-1 for a clean tail).
-func replayWAL(f *os.File, apply func(record)) (n int, truncAt int64, err error) {
+// walDamage describes where and how WAL replay stopped early.
+type walDamage struct {
+	at        int64 // offset of the first damaged frame (truncate here)
+	discarded int64 // bytes from at to EOF, dropped by the truncation
+	midLog    bool  // an intact frame exists past the damage point
+}
+
+// replayWAL scans f from the start, invoking apply for every intact
+// record. It returns the record count and, if a damaged record was
+// found, a walDamage classifying it (nil for a clean tail).
+func replayWAL(f *os.File, apply func(record)) (n int, dmg *walDamage, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, -1, fmt.Errorf("persist: %w", err)
+		return 0, nil, fmt.Errorf("persist: %w", err)
 	}
 	var off int64
 	hdr := make([]byte, 8)
@@ -309,33 +344,74 @@ func replayWAL(f *os.File, apply func(record)) (n int, truncAt int64, err error)
 	for {
 		if _, err := io.ReadFull(f, hdr); err != nil {
 			if errors.Is(err, io.EOF) {
-				return n, -1, nil // clean end
+				return n, nil, nil // clean end
 			}
-			return n, off, nil // torn header
+			return n, classifyDamage(f, off), nil // torn header
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		if size == 0 || size > maxRecordBytes {
-			return n, off, nil // nonsense length: tail corruption
+			return n, classifyDamage(f, off), nil // nonsense length
 		}
 		if cap(payload) < int(size) {
 			payload = make([]byte, size)
 		}
 		payload = payload[:size]
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return n, off, nil // torn payload
+			return n, classifyDamage(f, off), nil // torn payload
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
-			return n, off, nil // bit rot or torn write across the frame
+			return n, classifyDamage(f, off), nil // bit rot or torn write
 		}
 		var r record
 		if err := json.Unmarshal(payload, &r); err != nil {
-			return n, off, nil
+			return n, classifyDamage(f, off), nil
 		}
 		apply(r)
 		n++
 		off += 8 + int64(size)
 	}
+}
+
+// classifyDamage sizes a replay failure at offset off: how many bytes
+// truncating there discards, and whether an intact frame exists past
+// the damage. A crash mid-append can only tear the final frame, so a
+// valid later frame distinguishes real mid-log corruption from a crash
+// artifact.
+func classifyDamage(f *os.File, off int64) *walDamage {
+	d := &walDamage{at: off}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil || end <= off {
+		return d
+	}
+	d.discarded = end - off
+	rest := make([]byte, end-off)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, end-off), rest); err != nil {
+		return d
+	}
+	// A frame could resume at any byte past the damaged one; accept the
+	// first position whose length, checksum and payload all validate.
+	for i := 1; i+8 <= len(rest); i++ {
+		size := binary.LittleEndian.Uint32(rest[i : i+4])
+		if size == 0 || size > maxRecordBytes {
+			continue
+		}
+		frameEnd := i + 8 + int(size)
+		if frameEnd > len(rest) {
+			continue
+		}
+		payload := rest[i+8 : frameEnd]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rest[i+4:i+8]) {
+			continue
+		}
+		var r record
+		if json.Unmarshal(payload, &r) != nil {
+			continue
+		}
+		d.midLog = true
+		break
+	}
+	return d
 }
 
 // hexRE matches the hex digest part of a content address.
@@ -358,8 +434,12 @@ func validID(id string) bool {
 // graphs/<hex> (atomically; a file already present for this content
 // address is reused), then a WAL record with the meta (format, parent
 // link, mutation batch) is appended and fsynced. When AppendGraph
-// returns nil, the graph survives any crash.
+// returns nil, the graph survives any crash. Re-appending an existing
+// graph is idempotent, which callers use to restore durability for an
+// entry whose file a retention sweep removed.
 func (l *Log) AppendGraph(meta GraphMeta, data []byte) error {
+	l.barrier.RLock()
+	defer l.barrier.RUnlock()
 	if !validID(meta.ID) {
 		return l.fail(fmt.Errorf("persist: malformed graph ID %q", meta.ID))
 	}
@@ -379,6 +459,8 @@ func (l *Log) AppendGraph(meta GraphMeta, data []byte) error {
 
 // AppendResult durably records one computed result under its cache key.
 func (l *Log) AppendResult(key string, value json.RawMessage) error {
+	l.barrier.RLock()
+	defer l.barrier.RUnlock()
 	return l.appendRecord(record{Type: "result", Key: key, Value: value})
 }
 
@@ -414,12 +496,57 @@ func (l *Log) appendRecord(r record) error {
 	return nil
 }
 
-// Snapshot atomically checkpoints the full state and truncates the WAL.
-// The order is crash-safe: the snapshot is complete and durable before
-// the WAL shrinks, and a crash between the two steps only means the
-// next recovery replays records whose effects the snapshot already
-// holds — replay is idempotent by graph ID and result key.
+// Checkpoint atomically establishes a new regeneration point. While an
+// exclusive barrier blocks every concurrent append, export is invoked
+// to capture the caller's current state, that state is written as a
+// durable snapshot, the WAL is truncated, and a retention sweep prunes
+// the graph-file tier treating exactly the exported graphs as live
+// (maxAge and maxBytes as in Sweep). The barrier is what makes the cut
+// sound: state capture and WAL truncation see the same history, so an
+// append acked before the checkpoint is in the snapshot and an append
+// acked after it is in the (fresh) WAL — never neither. swept, when
+// non-nil, is called under the same barrier with the IDs of graph
+// files the sweep removed, so the caller can mark them non-durable
+// before appends resume.
+func (l *Log) Checkpoint(export func() ([]GraphMeta, []ResultRecord), maxAge time.Duration, maxBytes int64, swept func(ids []string)) (removed int, err error) {
+	l.barrier.Lock()
+	defer l.barrier.Unlock()
+	graphs, results := export()
+	if err := l.snapshotLocked(graphs, results); err != nil {
+		return 0, err
+	}
+	liveSet := make(map[string]bool, len(graphs))
+	for _, g := range graphs {
+		liveSet[g.ID] = true
+	}
+	ids, removed, err := l.sweepLocked(func(id string) bool { return liveSet[id] }, maxAge, maxBytes)
+	if err != nil {
+		return removed, err
+	}
+	if swept != nil && len(ids) > 0 {
+		swept(ids)
+	}
+	return removed, nil
+}
+
+// Snapshot checkpoints the full state and truncates the WAL, excluding
+// concurrent appends for the duration. The caller must pass a state at
+// least as new as every append that has already returned — Checkpoint
+// does that by construction and is what the service uses; Snapshot
+// remains for callers that serialize appends themselves. The step order
+// is crash-safe: the snapshot is complete and durable before the WAL
+// shrinks, and a crash between the two steps only means the next
+// recovery replays records whose effects the snapshot already holds —
+// replay is idempotent by graph ID and result key.
 func (l *Log) Snapshot(graphs []GraphMeta, results []ResultRecord) error {
+	l.barrier.Lock()
+	defer l.barrier.Unlock()
+	return l.snapshotLocked(graphs, results)
+}
+
+// snapshotLocked implements Snapshot; the caller holds the write
+// barrier.
+func (l *Log) snapshotLocked(graphs []GraphMeta, results []ResultRecord) error {
 	snap := snapshot{SavedAt: time.Now().UTC(), Graphs: graphs, Results: results}
 	data, err := json.Marshal(&snap)
 	if err != nil {
@@ -452,17 +579,29 @@ func (l *Log) Snapshot(graphs []GraphMeta, results []ResultRecord) error {
 	return nil
 }
 
-// Sweep prunes the graph-file tier: files whose ID the live predicate
-// rejects are deleted (the store evicted or never knew them), then
-// files older than maxAge (0 = no age bound) and, oldest first, files
-// beyond the maxBytes budget (0 = no byte bound) are deleted too. A
-// swept file only bounds durability — recovery skips records whose
-// bytes are gone; a running server keeps serving from memory.
+// Sweep prunes the graph-file tier, excluding concurrent appends for
+// the duration: files whose ID the live predicate rejects are deleted
+// (the store evicted or never knew them), then files older than maxAge
+// (0 = no age bound) and, oldest first, files beyond the maxBytes
+// budget (0 = no byte bound) are deleted too. The age and byte bounds
+// apply to live files as well: they trade durability for disk. A swept
+// file only bounds durability — recovery skips records whose bytes are
+// gone; a running server keeps serving from memory.
 func (l *Log) Sweep(live func(id string) bool, maxAge time.Duration, maxBytes int64) (removed int, err error) {
+	l.barrier.Lock()
+	defer l.barrier.Unlock()
+	_, removed, err = l.sweepLocked(live, maxAge, maxBytes)
+	return removed, err
+}
+
+// sweepLocked implements Sweep; the caller holds the write barrier.
+// removedIDs lists the graph IDs whose files were deleted (stale temp
+// files count toward removed but carry no ID).
+func (l *Log) sweepLocked(live func(id string) bool, maxAge time.Duration, maxBytes int64) (removedIDs []string, removed int, err error) {
 	dir := filepath.Join(l.dir, graphsDir)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, l.fail(err)
+		return nil, 0, l.fail(err)
 	}
 	type gfile struct {
 		name  string
@@ -491,6 +630,7 @@ func (l *Log) Sweep(live func(id string) bool, maxAge time.Duration, maxBytes in
 		if !live("sha256:"+name) || (maxAge > 0 && now.Sub(info.ModTime()) > maxAge) {
 			if os.Remove(filepath.Join(dir, name)) == nil {
 				removed++
+				removedIDs = append(removedIDs, "sha256:"+name)
 			}
 			continue
 		}
@@ -505,6 +645,7 @@ func (l *Log) Sweep(live func(id string) bool, maxAge time.Duration, maxBytes in
 			}
 			if os.Remove(filepath.Join(dir, f.name)) == nil {
 				removed++
+				removedIDs = append(removedIDs, "sha256:"+f.name)
 				total -= f.size
 			}
 		}
@@ -512,7 +653,7 @@ func (l *Log) Sweep(live func(id string) bool, maxAge time.Duration, maxBytes in
 	l.mu.Lock()
 	l.stats.SweptFiles += int64(removed)
 	l.mu.Unlock()
-	return removed, nil
+	return removedIDs, removed, nil
 }
 
 // fail counts an error against the stats and returns it.

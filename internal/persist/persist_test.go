@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -182,10 +183,21 @@ func TestTornTailIsToleratedAtEveryOffset(t *testing.T) {
 			}
 		}
 		// A cut exactly on a frame boundary is indistinguishable from a
-		// clean shutdown; anywhere else must be reported as a torn tail.
+		// clean shutdown; anywhere else must be reported as a torn tail —
+		// never as mid-log corruption, and discarding less than one frame.
 		frameLen := len(walData) / n
 		if wantTorn := off%frameLen != 0; wantTorn != rec.WALTruncated {
 			t.Fatalf("offset %d: WALTruncated=%v, want %v", off, rec.WALTruncated, wantTorn)
+		}
+		if rec.WALCorruptMidLog {
+			t.Fatalf("offset %d: torn tail misreported as mid-log corruption", off)
+		}
+		if rec.WALTruncated {
+			if rec.WALBytesDiscarded <= 0 || rec.WALBytesDiscarded >= int64(frameLen) {
+				t.Fatalf("offset %d: discarded %d bytes, want within (0, %d)", off, rec.WALBytesDiscarded, frameLen)
+			}
+		} else if rec.WALBytesDiscarded != 0 {
+			t.Fatalf("offset %d: clean recovery discarded %d bytes", off, rec.WALBytesDiscarded)
 		}
 		// The recovered log must accept new appends.
 		extra := []byte("5 1\n0 4\n")
@@ -226,6 +238,14 @@ func TestCorruptMiddleRecordDropsTail(t *testing.T) {
 	}
 	if len(rec.Graphs) >= 3 {
 		t.Fatalf("recovered %d graphs past a corrupt record", len(rec.Graphs))
+	}
+	// Intact records followed the damage, so this is mid-log corruption
+	// (real data loss), not a crash's torn tail, and the loss is sized.
+	if !rec.WALCorruptMidLog {
+		t.Fatal("mid-log corruption reported as a plain torn tail")
+	}
+	if rec.WALBytesDiscarded <= int64(len(walData))/3 {
+		t.Fatalf("discarded %d bytes, want the damaged record plus the intact one after it", rec.WALBytesDiscarded)
 	}
 }
 
@@ -282,6 +302,119 @@ func TestSweepRetention(t *testing.T) {
 	_, rec := openRecovered(t, dir)
 	if len(rec.Graphs) != 1 || rec.MissingGraphs != 3 {
 		t.Fatalf("post-sweep recovery: %d graphs, %d missing; want 1/3", len(rec.Graphs), rec.MissingGraphs)
+	}
+}
+
+// TestCheckpointLosesNoAckedAppend is the barrier's regression test:
+// appenders that mirror the service's write path (register in shared
+// state, then append, then treat the nil return as the ack) run
+// concurrently with repeated checkpoints whose export reads that shared
+// state. Every acked append must survive recovery — without the
+// exclusive barrier, an append landing between a checkpoint's export
+// and its WAL truncation would be in neither the snapshot nor the WAL.
+func TestCheckpointLosesNoAckedAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openRecovered(t, dir)
+
+	var mu sync.Mutex
+	state := make(map[string]persist.GraphMeta) // the "store": entries registered before their append
+	acked := make(map[string]bool)              // appends whose AppendGraph returned nil
+
+	const workers, perWorker = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				data := []byte(fmt.Sprintf("7 1\n%d %d\n", w, i))
+				meta := persist.GraphMeta{ID: fakeID(data), Format: "plain"}
+				mu.Lock()
+				state[meta.ID] = meta
+				mu.Unlock()
+				if err := l.AppendGraph(meta, data); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				acked[meta.ID] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if _, err := l.Checkpoint(func() ([]persist.GraphMeta, []persist.ResultRecord) {
+			mu.Lock()
+			defer mu.Unlock()
+			graphs := make([]persist.GraphMeta, 0, len(state))
+			for _, m := range state {
+				graphs = append(graphs, m)
+			}
+			return graphs, nil
+		}, 0, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	l.Close()
+
+	_, rec := openRecovered(t, dir)
+	recovered := make(map[string]bool, len(rec.Graphs))
+	for _, g := range rec.Graphs {
+		recovered[g.ID] = true
+	}
+	for id := range acked {
+		if !recovered[id] {
+			t.Fatalf("acked graph %s lost across checkpoint (recovered %d of %d)", id, len(recovered), len(acked))
+		}
+	}
+}
+
+// TestCheckpointSweepsAndReportsIDs: a checkpoint's sweep treats
+// exactly the exported graphs as live, and the swept callback receives
+// the IDs it removed — under the same barrier, so the caller can clear
+// durability marks before appends resume.
+func TestCheckpointSweepsAndReportsIDs(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openRecovered(t, dir)
+	dataA, dataB := []byte("4 1\n0 1\n"), []byte("4 1\n0 2\n")
+	metaA := persist.GraphMeta{ID: fakeID(dataA), Format: "plain"}
+	metaB := persist.GraphMeta{ID: fakeID(dataB), Format: "plain"}
+	for _, ap := range []struct {
+		m persist.GraphMeta
+		d []byte
+	}{{metaA, dataA}, {metaB, dataB}} {
+		if err := l.AppendGraph(ap.m, ap.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var swept []string
+	removed, err := l.Checkpoint(func() ([]persist.GraphMeta, []persist.ResultRecord) {
+		return []persist.GraphMeta{metaA}, nil // B is no longer live
+	}, 0, 0, func(ids []string) { swept = append(swept, ids...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || len(swept) != 1 || swept[0] != metaB.ID {
+		t.Fatalf("removed=%d swept=%v, want exactly %s", removed, swept, metaB.ID)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graphs", metaB.ID[len("sha256:"):])); !os.IsNotExist(err) {
+		t.Fatalf("swept graph file still present (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "graphs", metaA.ID[len("sha256:"):])); err != nil {
+		t.Fatalf("live graph file swept: %v", err)
+	}
+	l.Close()
+	_, rec := openRecovered(t, dir)
+	if len(rec.Graphs) != 1 || rec.Graphs[0].ID != metaA.ID {
+		t.Fatalf("post-checkpoint recovery %+v, want only %s", rec.Graphs, metaA.ID)
 	}
 }
 

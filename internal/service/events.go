@@ -64,6 +64,12 @@ func (h *eventHub) publish(ev JobEvent) {
 		return
 	}
 	h.mu.Lock()
+	h.publishLocked(ev)
+	h.mu.Unlock()
+}
+
+// publishLocked implements publish; the caller holds h.mu.
+func (h *eventHub) publishLocked(ev JobEvent) {
 	h.seq++
 	ev.Seq = h.seq
 	h.events = append(h.events, ev)
@@ -77,26 +83,31 @@ func (h *eventHub) publish(ev JobEvent) {
 		default: // already nudged; it will drain everything new
 		}
 	}
-	h.mu.Unlock()
 }
 
 // progress is the dist.Progress hook installed on a job's cost account:
 // it turns per-phase round charges into "phase" (first charge of a
-// phase) and coalesced "progress" events.
+// phase) and coalesced "progress" events. The publish happens inside
+// the same critical section that updates lastPhase/lastRounds, so even
+// with concurrent charge sites the stream stays coherent: a "phase"
+// event always switches phases and a "progress" event always continues
+// the phase of the event before it.
 func (h *eventHub) progress(phase string, phaseRounds, totalRounds int) {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	newPhase := phase != h.lastPhase
 	if !newPhase && totalRounds-h.lastRounds < progressQuantum {
-		h.mu.Unlock()
 		return
 	}
 	h.lastPhase, h.lastRounds = phase, totalRounds
-	h.mu.Unlock()
 	typ := "progress"
 	if newPhase {
 		typ = "phase"
 	}
-	h.publish(JobEvent{Type: typ, Phase: phase, PhaseRounds: phaseRounds, Rounds: totalRounds})
+	h.publishLocked(JobEvent{Type: typ, Phase: phase, PhaseRounds: phaseRounds, Rounds: totalRounds})
 }
 
 // since returns a copy of every retained event with Seq > seq.

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestProgressEventOrderingUnderConcurrency: progress publishes inside
+// the same critical section that updates lastPhase/lastRounds, so even
+// with multiple goroutines charging rounds the published stream stays
+// coherent — a "phase" event always switches to a new phase and a
+// "progress" event always continues the phase of the event right before
+// it. (The documented convention is one goroutine per cost account, but
+// the hub must not corrupt its stream if a future charge site breaks
+// it.)
+func TestProgressEventOrderingUnderConcurrency(t *testing.T) {
+	h := newEventHub()
+	const workers, rounds = 4, 50 // well under maxEventHistory, so nothing is dropped
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			phase := fmt.Sprintf("phase-%d", w)
+			for r := 1; r <= rounds; r++ {
+				// Advance the total by a full quantum so same-phase calls
+				// publish rather than coalesce away.
+				h.progress(phase, r, r*progressQuantum)
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := h.since(0)
+	if len(evs) == 0 {
+		t.Fatal("no events published")
+	}
+	for i, ev := range evs {
+		switch ev.Type {
+		case "phase":
+			if i > 0 && evs[i-1].Phase == ev.Phase {
+				t.Fatalf("event %d: redundant phase event for %q", i, ev.Phase)
+			}
+		case "progress":
+			if i == 0 || evs[i-1].Phase != ev.Phase {
+				t.Fatalf("event %d: progress for %q detached from its phase (previous: %+v)", i, ev.Phase, evs[max(i-1, 0)])
+			}
+		default:
+			t.Fatalf("event %d: unexpected type %q", i, ev.Type)
+		}
+		if int64(i)+1 != ev.Seq {
+			t.Fatalf("event %d: sequence gap (seq %d)", i, ev.Seq)
+		}
+	}
+}

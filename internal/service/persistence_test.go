@@ -339,6 +339,74 @@ func TestCrashRecoveryPrefixProperty(t *testing.T) {
 	}
 }
 
+// TestReuploadAfterSweepRepersists: a retention sweep that removes a
+// still-referenced graph's file clears its durability mark, so an
+// identical re-upload runs the write-through again — the ack a client
+// gets for the re-upload must mean the bytes are durable, not be
+// satisfied by an in-memory entry whose file is gone.
+func TestReuploadAfterSweepRepersists(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, DataDir: dir, RetentionAge: time.Hour, SnapshotInterval: -1}
+	svc := openTestService(t, cfg)
+	data := encode(t, gen.ForestUnion(25, 2, 9))
+	info, err := svc.Store().AddBytes(data, graph.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "graphs", info.ID[len("sha256:"):])
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(file, past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Fatalf("aged graph file survived the sweep (err=%v)", err)
+	}
+
+	info2, err := svc.Store().AddBytes(data, graph.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.ID != info.ID {
+		t.Fatalf("re-upload got a different ID: %s != %s", info2.ID, info.ID)
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("re-upload acked without restoring the graph file: %v", err)
+	}
+	mustClose(t, svc)
+
+	svc2 := openTestService(t, cfg)
+	if _, ok := svc2.Store().Info(info.ID); !ok {
+		t.Fatal("re-persisted graph lost across restart")
+	}
+	if rec := svc2.Recovery(); rec.MissingGraphs != 0 || rec.GraphsRecovered != 1 {
+		t.Fatalf("recovery %+v, want the re-persisted graph recovered cleanly", rec)
+	}
+}
+
+// TestDuplicateUploadSkipsRepersist: once an entry is durable, an
+// identical re-upload must not append another WAL record — the
+// persisted mark, not blind re-appending, is what keeps duplicate
+// uploads cheap.
+func TestDuplicateUploadSkipsRepersist(t *testing.T) {
+	dir := t.TempDir()
+	svc := openTestService(t, Config{Workers: 1, DataDir: dir, SnapshotInterval: -1})
+	data := encode(t, gen.ForestUnion(25, 2, 11))
+	if _, err := svc.Store().AddBytes(data, graph.FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.persistLog.Stats().WALRecords
+	if _, err := svc.Store().AddBytes(data, graph.FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	if after := svc.persistLog.Stats().WALRecords; after != before {
+		t.Fatalf("duplicate upload appended %d extra WAL records", after-before)
+	}
+	mustClose(t, svc)
+}
+
 // TestRetentionSweepAcrossRestart ages a persisted graph file past
 // Config.RetentionAge, checkpoints (which sweeps), and restarts: the
 // aged graph's bytes are gone from disk and the restarted service

@@ -86,9 +86,17 @@ type Config struct {
 	SnapshotInterval time.Duration
 	// RetentionAge, when > 0, lets snapshot-time sweeps delete persisted
 	// graph files older than this even if still referenced; 0 keeps
-	// referenced files indefinitely. Unreferenced files and the
-	// MaxStoreBytes byte budget are always enforced.
+	// referenced files indefinitely. Unreferenced files and the disk
+	// byte budget (MaxDiskBytes) are always enforced. A referenced graph
+	// whose file is swept keeps serving from memory but loses durability
+	// until identical bytes are uploaded again.
 	RetentionAge time.Duration
+	// MaxDiskBytes bounds the total bytes of persisted graph files;
+	// snapshot-time sweeps delete the oldest files beyond it, even while
+	// still referenced. 0 (the default) inherits MaxStoreBytes so disk
+	// roughly tracks the in-memory upload budget; < 0 disables the disk
+	// byte bound entirely. Ignored without DataDir.
+	MaxDiskBytes int64
 	// Logger, when non-nil, receives structured request and job logs and
 	// the persistence tier's error reports. Nil disables logging.
 	Logger *slog.Logger
@@ -258,9 +266,16 @@ type RecoveryInfo struct {
 	// ResultsWarmed counts cached results restored into the result cache.
 	ResultsWarmed int `json:"resultsWarmed"`
 	// WALRecords counts intact WAL records replayed; WALTruncated reports
-	// that a torn record (crash mid-append) was cut from the tail.
-	WALRecords   int  `json:"walRecords"`
-	WALTruncated bool `json:"walTruncated"`
+	// that a damaged record was cut from the WAL along with everything
+	// after it, and WALBytesDiscarded is how many bytes that dropped.
+	WALRecords        int   `json:"walRecords"`
+	WALTruncated      bool  `json:"walTruncated"`
+	WALBytesDiscarded int64 `json:"walBytesDiscarded,omitempty"`
+	// WALCorruptMidLog distinguishes the damage: false means a torn tail
+	// (the only artifact a crash mid-append leaves), true means intact
+	// records existed past the damage point — mid-log corruption whose
+	// discarded records were real acknowledged data.
+	WALCorruptMidLog bool `json:"walCorruptMidLog,omitempty"`
 	// SnapshotAt is the recovered snapshot's save time (zero if none).
 	SnapshotAt time.Time `json:"snapshotAt,omitempty"`
 	// MissingGraphs counts records whose data file was gone (retention
@@ -289,12 +304,21 @@ func (s *Service) openPersistence() error {
 		return err
 	}
 	info := RecoveryInfo{
-		Enabled:       true,
-		WALRecords:    rec.WALRecords,
-		WALTruncated:  rec.WALTruncated,
-		SnapshotAt:    rec.SnapshotAt,
-		MissingGraphs: rec.MissingGraphs,
+		Enabled:           true,
+		WALRecords:        rec.WALRecords,
+		WALTruncated:      rec.WALTruncated,
+		WALBytesDiscarded: rec.WALBytesDiscarded,
+		WALCorruptMidLog:  rec.WALCorruptMidLog,
+		SnapshotAt:        rec.SnapshotAt,
+		MissingGraphs:     rec.MissingGraphs,
 	}
+	if rec.WALCorruptMidLog && s.logger != nil {
+		// A torn tail is the expected crash artifact; intact records past
+		// the damage mean the discarded suffix was real acked data.
+		s.logger.Error("WAL corrupt mid-log: acknowledged records were discarded",
+			"discardedBytes", rec.WALBytesDiscarded)
+	}
+	var recoveredIDs []string
 	for _, g := range rec.Graphs {
 		if hashID(graph.Format(g.Format), g.Data) != g.ID {
 			info.Corrupt++
@@ -316,6 +340,7 @@ func (s *Service) openPersistence() error {
 			continue
 		}
 		info.GraphsRecovered++
+		recoveredIDs = append(recoveredIDs, added.ID)
 		if added.Parent != "" {
 			info.LineageLinks++
 		}
@@ -336,6 +361,10 @@ func (s *Service) openPersistence() error {
 		info.ResultsWarmed++
 	}
 	s.store.attachPersist(log)
+	// Recovered graphs are durable by construction (their bytes and
+	// records are what recovery just read); mark them so an identical
+	// re-upload skips the write-through.
+	s.store.markPersisted(recoveredIDs)
 	s.persistLog = log
 	s.recovery = info
 	return nil
@@ -359,27 +388,33 @@ func (s *Service) snapshotLoop(interval time.Duration) {
 	}
 }
 
-// SnapshotNow checkpoints the durability tier immediately: the store's
-// graph metadata and the result cache are written as an atomic snapshot,
-// the WAL is truncated, and a retention sweep removes graph files that
-// are no longer referenced, too old (Config.RetentionAge), or beyond the
-// store's byte budget. It errors when persistence is not enabled.
+// SnapshotNow checkpoints the durability tier immediately. The whole
+// sequence — capturing the store's graph metadata and the result cache,
+// writing them as a durable snapshot, truncating the WAL, and sweeping
+// graph files that are no longer referenced, too old
+// (Config.RetentionAge), or beyond the disk byte budget
+// (Config.MaxDiskBytes) — runs under persist.Log's append barrier, so a
+// graph or result acked concurrently lands in either the snapshot or
+// the fresh WAL, never in neither. Entries whose files the sweep
+// removed are marked non-durable so an identical re-upload persists
+// them again. It errors when persistence is not enabled.
 func (s *Service) SnapshotNow() error {
 	if s.persistLog == nil {
 		return errors.New("service: persistence not enabled")
 	}
-	if err := s.persistLog.Snapshot(s.store.exportPersist(), s.cache.export()); err != nil {
-		return err
+	maxBytes := s.cfg.MaxDiskBytes
+	switch {
+	case maxBytes == 0:
+		maxBytes = s.cfg.MaxStoreBytes
+		if maxBytes <= 0 {
+			maxBytes = DefaultMaxSourceBytes
+		}
+	case maxBytes < 0:
+		maxBytes = 0 // persist treats 0 as "no byte bound"
 	}
-	live := make(map[string]bool)
-	for _, info := range s.store.List() {
-		live[info.ID] = true
-	}
-	maxBytes := s.cfg.MaxStoreBytes
-	if maxBytes <= 0 {
-		maxBytes = DefaultMaxSourceBytes
-	}
-	_, err := s.persistLog.Sweep(func(id string) bool { return live[id] }, s.cfg.RetentionAge, maxBytes)
+	_, err := s.persistLog.Checkpoint(func() ([]persist.GraphMeta, []persist.ResultRecord) {
+		return s.store.exportPersist(), s.cache.export()
+	}, s.cfg.RetentionAge, maxBytes, s.store.markUnpersisted)
 	return err
 }
 

@@ -74,6 +74,12 @@ type graphSource struct {
 	path string    // file-backed when non-empty
 	data []byte    // upload-backed otherwise
 	mut  *Mutation // for Mutate-derived graphs: the batch that produced it
+	// persisted (guarded by Store.mu) records that this entry is known
+	// durable on disk — its write-through succeeded or it was recovered
+	// from disk. It is cleared when a retention sweep removes the entry's
+	// graph file, so a later identical upload re-persists instead of
+	// being acked on the strength of bytes that are gone.
+	persisted bool
 }
 
 // GraphInfo describes a stored graph.
@@ -250,9 +256,9 @@ func (s *Store) add(data []byte, f graph.Format, path, parent string, mut *Mutat
 	id := hashID(format, data)
 	s.mu.Lock()
 	if src, ok := s.sources[id]; ok {
-		info := src.info
+		info, pl := src.info, s.persistLog
 		s.mu.Unlock()
-		return info, nil
+		return info, s.ensurePersisted(pl, src, data)
 	}
 	s.mu.Unlock()
 
@@ -267,9 +273,9 @@ func (s *Store) add(data []byte, f graph.Format, path, parent string, mut *Mutat
 	}
 	s.mu.Lock()
 	if existing, ok := s.sources[id]; ok { // lost a race with an identical upload
-		info := existing.info
+		info, pl := existing.info, s.persistLog
 		s.mu.Unlock()
-		return info, nil
+		return info, s.ensurePersisted(pl, existing, data)
 	}
 	s.sources[id] = src
 	s.warmPut(id, g)
@@ -297,21 +303,70 @@ func (s *Store) add(data []byte, f graph.Format, path, parent string, mut *Mutat
 	}
 	pl := s.persistLog
 	s.mu.Unlock()
+	return info, s.ensurePersisted(pl, src, data)
+}
 
-	// Write-through, outside the lock (each append fsyncs): the ack a
-	// client gets implies the graph is durable. A persist failure is
-	// surfaced as an error even though the in-memory entry stands — the
-	// graph is servable, but the durability contract was not met.
-	if pl != nil {
-		meta, err := persistMeta(info, mut)
-		if err == nil {
-			err = pl.AppendGraph(meta, data)
-		}
-		if err != nil {
-			return info, fmt.Errorf("service: persisting graph %s: %w", id, err)
+// ensurePersisted write-through-persists src unless it is already known
+// durable. Every add path routes through here — including the
+// duplicate-upload ones, because an identical re-upload must end up
+// durable even when the original entry's persist attempt failed, or a
+// retention sweep later removed its on-disk bytes (both leave
+// src.persisted false). AppendGraph is idempotent for an existing
+// content file and WAL replay is idempotent by ID, so callers racing
+// here at worst append a redundant record.
+//
+// The append runs outside the store lock (each one fsyncs): the ack a
+// client gets implies the graph is durable. A persist failure is
+// surfaced as an error even though the in-memory entry stands — the
+// graph is servable, but the durability contract was not met, and the
+// flag stays false so a retry persists again.
+func (s *Store) ensurePersisted(pl *persist.Log, src *graphSource, data []byte) error {
+	if pl == nil {
+		return nil
+	}
+	s.mu.Lock()
+	need := !src.persisted
+	info, mut := src.info, src.mut
+	s.mu.Unlock()
+	if !need {
+		return nil
+	}
+	meta, err := persistMeta(info, mut)
+	if err == nil {
+		err = pl.AppendGraph(meta, data)
+	}
+	if err != nil {
+		return fmt.Errorf("service: persisting graph %s: %w", info.ID, err)
+	}
+	s.mu.Lock()
+	src.persisted = true
+	s.mu.Unlock()
+	return nil
+}
+
+// markPersisted records that these entries are already durable on disk
+// without re-persisting them — recovery replays are, by construction.
+func (s *Store) markPersisted(ids []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if src, ok := s.sources[id]; ok {
+			src.persisted = true
 		}
 	}
-	return info, nil
+}
+
+// markUnpersisted clears the durability mark after a retention sweep
+// removed these entries' graph files; the next identical upload runs
+// the write-through again instead of skipping it.
+func (s *Store) markUnpersisted(ids []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if src, ok := s.sources[id]; ok {
+			src.persisted = false
+		}
+	}
 }
 
 // persistMeta converts a stored graph's identity to its durable record.
