@@ -14,7 +14,9 @@
 //	                           "options": {"alpha": 4, "eps": 0.5, "seed": 1}}
 //	GET    /jobs/{id}         poll (?wait=5s to block), DELETE to cancel
 //	GET    /jobs/{id}/events  the job's progress stream (SSE)
-//	GET    /stats             cache hit/miss/eviction and queue counters
+//	GET    /jobs/{id}/trace   the finished job's span trace (Perfetto-loadable)
+//	GET    /jobs/history      terminal job records with timings and cost breakdowns
+//	GET    /stats             cache hit/miss/eviction, queue and trace counters
 //	GET    /metrics           Prometheus text exposition
 //
 // By default the daemon is purely in-memory. -data-dir enables the
@@ -26,7 +28,12 @@
 // "nwserve: listening on http://HOST:PORT" (useful with -addr :0), and
 // SIGINT/SIGTERM trigger a graceful drain before exit. Structured logs
 // (startup recovery summary, per-request and per-job lines) go to
-// stderr; -log off silences them.
+// stderr; -log off silences them, and -log-file redirects them to a
+// size-rotated file (-log-max-size, -log-max-files). -pprof-addr serves
+// Go's net/http/pprof profiling handlers on a second, private listener,
+// kept off the public API address. Per-job tracing is on by default
+// (-trace=false disables it); -trace-rounds N additionally samples every
+// Nth engine round into the trace as an instant event.
 package main
 
 import (
@@ -34,9 +41,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the default mux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -44,6 +53,7 @@ import (
 	"time"
 
 	"nwforest/internal/service"
+	"nwforest/internal/telemetry"
 )
 
 func main() {
@@ -60,18 +70,51 @@ func main() {
 	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "how often the durability tier checkpoints and truncates its WAL")
 	retention := flag.Duration("retention", 0, "age bound for persisted graph files, applied even while referenced (0 = keep while referenced)")
 	diskBytes := flag.Int64("disk-bytes", 0, "persisted graph bytes retained before the oldest files are swept (0 = inherit -store-bytes, negative = unlimited)")
-	logMode := flag.String("log", "text", "structured log format on stderr: text, json, or off")
+	logMode := flag.String("log", "text", "structured log format: text, json, or off")
+	logFile := flag.String("log-file", "", "write structured logs to this file with size-based rotation instead of stderr")
+	logMaxSize := flag.Int64("log-max-size", 10<<20, "rotate -log-file when it would exceed this many bytes")
+	logMaxFiles := flag.Int("log-max-files", 3, "rotated -log-file copies to keep (.1 newest)")
+	tracing := flag.Bool("trace", true, "record a span trace per job, served at GET /jobs/{id}/trace")
+	traceRounds := flag.Int("trace-rounds", 0, "sample every Nth engine round into traces as instant events (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.Parse()
 
+	var logDst io.Writer = os.Stderr
+	if *logFile != "" {
+		rw, err := telemetry.NewRotatingWriter(*logFile, *logMaxSize, *logMaxFiles)
+		if err != nil {
+			fatal(err)
+		}
+		defer rw.Close()
+		logDst = rw
+	}
 	var logger *slog.Logger
 	switch *logMode {
 	case "text":
-		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		logger = slog.New(slog.NewTextHandler(logDst, nil))
 	case "json":
-		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		logger = slog.New(slog.NewJSONHandler(logDst, nil))
 	case "off":
 	default:
 		fatal(fmt.Errorf("unknown -log mode %q (want text, json or off)", *logMode))
+	}
+
+	if *pprofAddr != "" {
+		// The profiling surface stays off the public listener: pprof's
+		// handlers register on the default mux as a side effect of the
+		// net/http/pprof import, and only this optional second server
+		// ever serves that mux.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nwserve: pprof listening on http://%s\n", pln.Addr())
+		go func() {
+			srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "nwserve: pprof server:", err)
+			}
+		}()
 	}
 
 	svc, err := service.Open(service.Config{
@@ -87,6 +130,8 @@ func main() {
 		RetentionAge:     *retention,
 		MaxDiskBytes:     *diskBytes,
 		Logger:           logger,
+		DisableTracing:   !*tracing,
+		TraceRoundEvery:  *traceRounds,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,52 @@
+// Command obscheck validates observability payloads scraped from a
+// running nwserve, so shell-based smoke tests (CI) can assert more than
+// "the endpoint answered 200". It reads one payload from stdin and
+// exits non-zero with a diagnostic when it is malformed:
+//
+//	curl -s $BASE/metrics        | obscheck -mode metrics
+//	curl -s $BASE/jobs/j-1/trace | obscheck -mode trace
+//
+// -mode metrics runs the Prometheus text-exposition validator
+// (internal/telemetry); -mode trace runs the Chrome trace-event JSON
+// validator (internal/trace) over the Perfetto-loadable export.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nwforest/internal/telemetry"
+	"nwforest/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "metrics",
+		"payload kind on stdin: metrics (Prometheus text) or trace (trace-event JSON)")
+	flag.Parse()
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) == 0 {
+		fatal(fmt.Errorf("empty %s payload on stdin", *mode))
+	}
+	switch *mode {
+	case "metrics":
+		err = telemetry.ValidateExposition(data)
+	case "trace":
+		err = trace.ValidateTraceEvents(data)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want metrics or trace)", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("obscheck: %s ok (%d bytes)\n", *mode, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}

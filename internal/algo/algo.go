@@ -302,7 +302,11 @@ func Run(ctx context.Context, g *graph.Graph, req Request) (*Result, error) {
 	}
 	var cost dist.Cost
 	// A progress hook riding on ctx (dist.WithProgress — the service's
-	// per-job SSE stream) observes this run's cost as it accrues.
-	cost.SetProgress(dist.ProgressFromContext(ctx))
+	// per-job SSE stream) observes this run's cost as it accrues; a span
+	// observer (dist.WithSpans — the service's per-job trace recorder)
+	// additionally sees traffic charges and sampled engine rounds.
+	progress, spans := dist.ObserversFromContext(ctx)
+	cost.SetProgress(progress)
+	cost.SetSpans(spans)
 	return d.Run(ctx, g, d.Normalize(req), &cost)
 }

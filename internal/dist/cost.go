@@ -25,6 +25,8 @@ type Cost struct {
 	index  map[string]int
 	// progress, when set, observes every round charge (see SetProgress).
 	progress Progress
+	// spans, when set, observes every charge for tracing (see SetSpans).
+	spans SpanObserver
 }
 
 // phase returns the accumulator for the named phase, appending it in
@@ -55,6 +57,9 @@ func (c *Cost) Charge(rounds int, phase string) {
 	if c.progress != nil {
 		c.progress(p.Name, p.Rounds, c.Rounds())
 	}
+	if c.spans != nil {
+		c.spans.PhaseCharged(p.Name, p.Rounds, c.Rounds())
+	}
 }
 
 // ChargeMax raises the named phase's round total to rounds if it is
@@ -72,6 +77,9 @@ func (c *Cost) ChargeMax(rounds int, phase string) {
 	if c.progress != nil {
 		c.progress(p.Name, p.Rounds, c.Rounds())
 	}
+	if c.spans != nil {
+		c.spans.PhaseCharged(p.Name, p.Rounds, c.Rounds())
+	}
 }
 
 // ChargeMessages adds CONGEST traffic — msgs messages totalling bits
@@ -86,6 +94,9 @@ func (c *Cost) ChargeMessages(msgs, bits int64, phase string) {
 	}
 	if bits > 0 {
 		p.Bits += bits
+	}
+	if c.spans != nil {
+		c.spans.TrafficCharged(p.Name, msgs, bits)
 	}
 }
 

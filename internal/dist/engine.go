@@ -223,11 +223,18 @@ func (e *Engine) Bits() int64 { return e.bits }
 // rounds perform zero heap allocations, including the per-round ctx
 // check (given programs that use Env.Out and allocation-free messages;
 // see the package benchmark).
+//
+// A SpanObserver carried by ctx (dist.WithSpans — the service's trace
+// recorder) is notified once per completed round via EngineRound. The
+// observer is fetched from ctx once per Run; when none is carried the
+// per-round cost is a single nil check, preserving the zero-alloc
+// steady state.
 func (e *Engine) Run(ctx context.Context, maxRounds int) (int, error) {
 	n := len(e.progs)
 	if n == 0 {
 		return 0, nil
 	}
+	spans := SpansFromContext(ctx)
 	workers := 1
 	if e.mode == Parallel || (e.mode == Auto && n >= autoThreshold) {
 		if w := runtime.GOMAXPROCS(0); w > 1 {
@@ -243,6 +250,9 @@ func (e *Engine) Run(ctx context.Context, maxRounds int) (int, error) {
 			}
 			allDone := e.stepRange(round, 0, n)
 			e.inbox, e.outbox = e.outbox, e.inbox
+			if spans != nil {
+				spans.EngineRound(round)
+			}
 			if allDone {
 				return round + 1, nil
 			}
@@ -299,6 +309,9 @@ func (e *Engine) Run(ctx context.Context, maxRounds int) (int, error) {
 			allDone = allDone && res[w]
 		}
 		e.inbox, e.outbox = e.outbox, e.inbox
+		if spans != nil {
+			spans.EngineRound(round)
+		}
 		if allDone {
 			return round + 1, nil
 		}

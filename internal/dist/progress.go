@@ -22,18 +22,43 @@ func (c *Cost) SetProgress(fn Progress) {
 	}
 }
 
-// progressKey carries a Progress hook through a context.
-type progressKey struct{}
+// observerKey carries both cost observers — the Progress hook and the
+// SpanObserver — under a single context key, so the per-dispatch
+// prologue (algo.Run) pays one ctx.Value lookup however many observers
+// are installed.
+type observerKey struct{}
+
+// observers is the value stored under observerKey.
+type observers struct {
+	progress Progress
+	spans    SpanObserver
+}
+
+// observersFrom returns the observers carried by ctx (zero if none).
+func observersFrom(ctx context.Context) observers {
+	o, _ := ctx.Value(observerKey{}).(observers)
+	return o
+}
 
 // WithProgress returns a context carrying fn, for handing a progress
 // hook down to code that creates its own Cost (algo.Run installs the
-// context's hook on the Cost it allocates per run).
+// context's hook on the Cost it allocates per run). A SpanObserver
+// already carried by ctx is preserved.
 func WithProgress(ctx context.Context, fn Progress) context.Context {
-	return context.WithValue(ctx, progressKey{}, fn)
+	o := observersFrom(ctx)
+	o.progress = fn
+	return context.WithValue(ctx, observerKey{}, o)
 }
 
 // ProgressFromContext returns the Progress hook carried by ctx, or nil.
 func ProgressFromContext(ctx context.Context) Progress {
-	fn, _ := ctx.Value(progressKey{}).(Progress)
-	return fn
+	return observersFrom(ctx).progress
+}
+
+// ObserversFromContext returns both cost observers carried by ctx in a
+// single context lookup — the dispatch prologue's accessor of choice;
+// either may be nil.
+func ObserversFromContext(ctx context.Context) (Progress, SpanObserver) {
+	o := observersFrom(ctx)
+	return o.progress, o.spans
 }

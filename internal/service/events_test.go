@@ -53,3 +53,90 @@ func TestProgressEventOrderingUnderConcurrency(t *testing.T) {
 		}
 	}
 }
+
+// TestLateSubscriberReplayBounds: once more than maxEventHistory events
+// are published, a subscriber replaying from the start gets exactly the
+// newest maxEventHistory events with contiguous sequence numbers ending
+// at the latest one — the front of history ages out, the tail never
+// lies about where it is.
+func TestLateSubscriberReplayBounds(t *testing.T) {
+	h := newEventHub()
+	const total = maxEventHistory + 300
+	for i := 0; i < total; i++ {
+		h.publish(JobEvent{Type: "phase", Phase: fmt.Sprintf("p%d", i)})
+	}
+	evs := h.since(0)
+	if len(evs) != maxEventHistory {
+		t.Fatalf("late subscriber got %d events, want exactly maxEventHistory=%d", len(evs), maxEventHistory)
+	}
+	wantFirst := int64(total - maxEventHistory + 1)
+	for i, ev := range evs {
+		if ev.Seq != wantFirst+int64(i) {
+			t.Fatalf("event %d: seq %d, want %d (contiguous replay)", i, ev.Seq, wantFirst+int64(i))
+		}
+	}
+	if evs[len(evs)-1].Seq != int64(total) {
+		t.Fatalf("replay ends at seq %d, want the latest %d", evs[len(evs)-1].Seq, total)
+	}
+	// Resuming from mid-history and from beyond the end behave.
+	mid := evs[len(evs)/2].Seq
+	rest := h.since(mid)
+	if len(rest) != int(int64(total)-mid) || rest[0].Seq != mid+1 {
+		t.Fatalf("since(%d) returned %d events starting at %d", mid, len(rest), rest[0].Seq)
+	}
+	if got := h.since(int64(total)); got != nil {
+		t.Fatalf("since(latest) = %d events, want none", len(got))
+	}
+}
+
+// TestLateSubscriberReplayBoundsConcurrent interleaves publishers with a
+// replaying reader (run under -race): every snapshot the reader takes
+// must be bounded by maxEventHistory and internally contiguous.
+func TestLateSubscriberReplayBoundsConcurrent(t *testing.T) {
+	h := newEventHub()
+	const writers, perWriter = 4, 600 // writers*perWriter > maxEventHistory
+	var writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := h.since(last)
+			if len(evs) > maxEventHistory {
+				t.Errorf("snapshot of %d events exceeds maxEventHistory", len(evs))
+				return
+			}
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq != evs[i-1].Seq+1 {
+					t.Errorf("snapshot gap: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+					return
+				}
+			}
+			if len(evs) > 0 {
+				if evs[0].Seq <= last {
+					t.Errorf("replay re-delivered seq %d (cursor %d)", evs[0].Seq, last)
+					return
+				}
+				last = evs[len(evs)-1].Seq
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.publish(JobEvent{Type: "phase", Phase: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	<-readerDone
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,10 +49,25 @@ const maxUploadBytes = 256 << 20
 //	                        round totals, and incremental repair
 //	                        summaries; history replays first, then live
 //	                        events until the job finishes
+//	GET    /jobs/{id}/trace the job's finished trace as Chrome
+//	                        trace-event JSON (loads directly in Perfetto
+//	                        and chrome://tracing): request/queue/run spans,
+//	                        one span per algorithm phase with
+//	                        rounds/messages/bits attached, and sampled
+//	                        per-round instants when enabled; 409 while the
+//	                        job is still running, 404 once evicted or when
+//	                        tracing is disabled
+//	GET    /jobs/history    terminal job records (id, graph, algorithm,
+//	                        mode, queue/run timings, cost breakdown,
+//	                        outcome), newest first, retained independently
+//	                        of job retention; ?state=, ?algorithm= and
+//	                        ?limit= filter
 //	DELETE /jobs/{id}       cancel a job
-//	GET    /stats           store / cache / queue counters
-//	GET    /metrics         the same counters (plus WAL/snapshot and
-//	                        latency histograms) in Prometheus text format
+//	GET    /stats           store / cache / queue / trace / persistence
+//	                        counters
+//	GET    /metrics         the same counters (plus latency and per-phase
+//	                        histograms) in Prometheus text format, derived
+//	                        from the same snapshot /stats serializes
 //	GET    /healthz         liveness
 //
 // When svc was configured with a Logger, every completed request is
@@ -89,6 +105,14 @@ func NewHTTPHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		handleJobEvents(svc, w, r)
+	})
+	// The literal /jobs/history pattern wins over /jobs/{id}, so "history"
+	// is not a reachable job ID via this surface (IDs are "j-N" anyway).
+	mux.HandleFunc("GET /jobs/history", func(w http.ResponseWriter, r *http.Request) {
+		handleJobHistory(svc, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		handleJobTrace(svc, w, r)
 	})
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
@@ -235,7 +259,61 @@ func handleMutateGraph(svc *Service, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// handleJobTrace serves GET /jobs/{id}/trace: the finished job's span
+// timeline from the trace ring, as Chrome trace-event JSON. A job that
+// is still known but not yet terminal answers 409 (its trace is not in
+// the ring yet); anything else — unknown ID, evicted trace, tracing
+// disabled — is a 404.
+func handleJobTrace(svc *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := svc.Trace(id)
+	if !ok {
+		if j, known := svc.Get(id); known && !j.State().terminal() {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("job %q has not finished; its trace is not available yet", id))
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rec.WriteJSON(w)
+}
+
+// handleJobHistory serves GET /jobs/history: terminal job records newest
+// first, optionally filtered by ?state=, ?algorithm= and ?limit=.
+func handleJobHistory(svc *Service, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := JobState(q.Get("state"))
+	switch state {
+	case "", JobDone, JobFailed, JobCanceled:
+	case JobQueued, JobRunning:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("state %q never appears in the history; it records terminal jobs only", state))
+		return
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", state))
+		return
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		limit = n
+	}
+	recs := svc.History(state, q.Get("algorithm"), limit)
+	if recs == nil {
+		recs = []JobRecord{} // render an empty array, not null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"history": recs})
+}
+
 func handleSubmitJob(svc *Service, w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -244,6 +322,15 @@ func handleSubmitJob(svc *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := svc.Submit(spec)
+	if err == nil {
+		if rec := j.TraceRecorder(); rec != nil {
+			// The request span covers decode + Submit (validation, cache
+			// probe, registration, enqueue). For cache hits the job is
+			// already finished and its trace already in the ring; AddSpan
+			// after Finish is permitted for exactly this reason.
+			rec.AddSpan("http POST /jobs", "request", reqStart, time.Now(), nil)
+		}
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")

@@ -7,6 +7,7 @@ import (
 
 	"nwforest"
 	"nwforest/internal/algo"
+	"nwforest/internal/trace"
 )
 
 // JobState is the lifecycle state of a job.
@@ -127,6 +128,11 @@ type Job struct {
 	// The terminal state event is published before done is closed, so a
 	// subscriber woken by Done() always finds it in the history.
 	hub *eventHub
+
+	// rec is the job's span recorder (GET /jobs/{id}/trace); nil when
+	// tracing is disabled. It is set before the job is shared and moves
+	// into the service's trace ring when the job finishes.
+	rec *trace.Recorder
 }
 
 // JobSnapshot is a point-in-time JSON view of a job.
@@ -147,6 +153,10 @@ type JobSnapshot struct {
 
 // ID returns the job's service-assigned identifier.
 func (j *Job) ID() string { return j.id }
+
+// TraceRecorder returns the job's span recorder, or nil when tracing is
+// disabled. The HTTP layer uses it to attach the request span.
+func (j *Job) TraceRecorder() *trace.Recorder { return j.rec }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }

@@ -2,16 +2,20 @@ package service
 
 import (
 	"net/http"
-	"time"
 
 	"nwforest/internal/telemetry"
+	"nwforest/internal/trace"
 )
 
-// initMetrics builds the service's /metrics registry. Counters and
-// gauges are pull-based collect functions over the counters the service
-// already keeps (store, cache, queue, WAL), so scraping adds no
-// bookkeeping to the serving path; the per-algorithm latency histogram
-// is the one push-based series (observed once per computed job).
+// initMetrics builds the service's /metrics registry. Every counter and
+// gauge collector reads from one Stats snapshot refreshed once per
+// scrape (the registry's Prepare hook), so a single exposition is
+// internally consistent and /metrics can never drift from GET /stats —
+// both endpoints are views of the same Stats() value. The per-algorithm
+// job-latency and per-phase self-time histograms are the push-based
+// series (their bucket state has no other home); the per-phase
+// rounds/messages/bits counters collect from the trace ring's cumulative
+// totals.
 func (s *Service) initMetrics() {
 	r := telemetry.NewRegistry()
 	s.metrics = r
@@ -19,11 +23,25 @@ func (s *Service) initMetrics() {
 		"Wall time of computed (non-cached) jobs by algorithm.",
 		"algorithm", telemetry.DefDurationBuckets)
 
+	r.Prepare(func() {
+		st := s.Stats()
+		s.statSnap.Store(&st)
+	})
+	// stat returns the scrape's shared snapshot; the fallback covers
+	// collect functions invoked outside a scrape (direct tests).
+	stat := func() *Stats {
+		if st := s.statSnap.Load(); st != nil {
+			return st
+		}
+		st := s.Stats()
+		return &st
+	}
+
 	// jobStates is fixed so the exported series are stable across
 	// scrapes even when no job is currently in a state.
 	jobStates := []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled}
 	r.GaugeVec("nwserve_jobs", "Retained jobs by lifecycle state.", func() []telemetry.Sample {
-		st := s.Stats()
+		st := stat()
 		out := make([]telemetry.Sample, len(jobStates))
 		for i, state := range jobStates {
 			out[i] = telemetry.Sample{
@@ -34,96 +52,147 @@ func (s *Service) initMetrics() {
 		return telemetry.SortSamples(out)
 	})
 	r.Gauge("nwserve_queue_depth", "Jobs waiting for a worker.", func() float64 {
-		return float64(len(s.queue))
+		return float64(stat().QueueDepth)
 	})
 	r.Gauge("nwserve_queue_capacity", "Job queue capacity.", func() float64 {
-		return float64(cap(s.queue))
+		return float64(stat().QueueCap)
 	})
 	r.Gauge("nwserve_workers", "Worker pool size.", func() float64 {
-		return float64(s.cfg.Workers)
+		return float64(stat().Workers)
 	})
 	r.Counter("nwserve_jobs_deduped_total",
 		"Submissions attached to an identical in-flight job.", func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.dedups)
+			return float64(stat().Dedups)
 		})
 	r.Gauge("nwserve_retained_result_bytes",
 		"Approximate memory pinned by finished jobs still pollable.", func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.retainedBytes)
+			return float64(stat().RetainedResultBytes)
 		})
 
 	r.Counter("nwserve_result_cache_hits_total", "Result cache hits.", func() float64 {
-		return float64(s.cache.stats().Hits)
+		return float64(stat().Results.Hits)
 	})
 	r.Counter("nwserve_result_cache_misses_total", "Result cache misses.", func() float64 {
-		return float64(s.cache.stats().Misses)
+		return float64(stat().Results.Misses)
 	})
 	r.Counter("nwserve_result_cache_evictions_total", "Result cache evictions.", func() float64 {
-		return float64(s.cache.stats().Evictions)
+		return float64(stat().Results.Evictions)
 	})
 	r.Gauge("nwserve_result_cache_entries", "Results currently cached.", func() float64 {
-		return float64(s.cache.stats().Size)
+		return float64(stat().Results.Size)
 	})
 	r.Gauge("nwserve_result_cache_bytes", "Approximate bytes of cached results.", func() float64 {
-		return float64(s.cache.stats().Bytes)
+		return float64(stat().Results.Bytes)
 	})
 
 	r.Gauge("nwserve_store_graphs", "Distinct graphs ingested.", func() float64 {
-		return float64(s.store.Stats().Graphs)
+		return float64(stat().Store.Graphs)
 	})
 	r.Gauge("nwserve_store_warm_graphs", "Parsed graphs held in the warm LRU.", func() float64 {
-		return float64(s.store.Stats().Warm)
+		return float64(stat().Store.Warm)
 	})
 	r.Gauge("nwserve_store_warm_bytes", "Approximate heap held by warm parsed graphs.", func() float64 {
-		return float64(s.store.Stats().WarmBytes)
+		return float64(stat().Store.WarmBytes)
 	})
 	r.Gauge("nwserve_store_retained_bytes", "Raw bytes retained for upload-backed graphs.", func() float64 {
-		return float64(s.store.Stats().RetainedBytes)
+		return float64(stat().Store.RetainedBytes)
 	})
 	r.Counter("nwserve_store_hits_total", "Graph lookups served from the warm LRU.", func() float64 {
-		return float64(s.store.Stats().Hits)
+		return float64(stat().Store.Hits)
 	})
 	r.Counter("nwserve_store_misses_total", "Graph lookups that found the graph cold.", func() float64 {
-		return float64(s.store.Stats().Misses)
+		return float64(stat().Store.Misses)
 	})
 	r.Counter("nwserve_store_evictions_total", "Parsed graphs dropped from the warm LRU.", func() float64 {
-		return float64(s.store.Stats().Evictions)
+		return float64(stat().Store.Evictions)
 	})
 	r.Counter("nwserve_store_mutations_total", "Graph versions derived by mutation batches.", func() float64 {
-		return float64(s.store.Stats().Mutations)
+		return float64(stat().Store.Mutations)
 	})
+
+	r.Gauge("nwserve_history_entries", "Terminal job records retained for GET /jobs/history.", func() float64 {
+		return float64(stat().History.Entries)
+	})
+	r.Gauge("nwserve_history_bytes", "Approximate bytes of retained job-history records.", func() float64 {
+		return float64(stat().History.Bytes)
+	})
+	r.Counter("nwserve_history_records_total", "Terminal job records ever appended to the history.", func() float64 {
+		return float64(stat().History.Added)
+	})
+	r.Counter("nwserve_history_evictions_total", "Job-history records evicted by the retention budgets.", func() float64 {
+		return float64(stat().History.Evicted)
+	})
+
+	if s.traces != nil {
+		s.phaseSelf = r.Histogram("nwserve_phase_self_seconds",
+			"Wall-clock self time attributed to each algorithm phase, per finished trace.",
+			"phase", telemetry.DefDurationBuckets)
+		r.Gauge("nwserve_trace_entries", "Finished traces retained in the ring.", func() float64 {
+			return float64(stat().Trace.Entries)
+		})
+		r.Gauge("nwserve_trace_bytes", "Approximate bytes of retained traces.", func() float64 {
+			return float64(stat().Trace.Bytes)
+		})
+		r.Counter("nwserve_traces_total", "Traces ever accepted into the ring.", func() float64 {
+			return float64(stat().Trace.Added)
+		})
+		r.Counter("nwserve_trace_evictions_total", "Traces evicted by the ring's budgets.", func() float64 {
+			return float64(stat().Trace.Evicted)
+		})
+		phaseSamples := func(value func(trace.PhaseTotal) float64) func() []telemetry.Sample {
+			return func() []telemetry.Sample {
+				totals := s.traces.PhaseTotals()
+				out := make([]telemetry.Sample, len(totals))
+				for i, t := range totals {
+					out[i] = telemetry.Sample{
+						Labels: []telemetry.Label{{Name: "phase", Value: t.Name}},
+						Value:  value(t),
+					}
+				}
+				return out // PhaseTotals is already name-sorted
+			}
+		}
+		r.CounterVec("nwserve_phase_rounds_total",
+			"LOCAL rounds charged per algorithm phase across finished traces.",
+			phaseSamples(func(t trace.PhaseTotal) float64 { return float64(t.Rounds) }))
+		r.CounterVec("nwserve_phase_messages_total",
+			"Messages charged per algorithm phase across finished traces.",
+			phaseSamples(func(t trace.PhaseTotal) float64 { return float64(t.Messages) }))
+		r.CounterVec("nwserve_phase_bits_total",
+			"Message bits charged per algorithm phase across finished traces.",
+			phaseSamples(func(t trace.PhaseTotal) float64 { return float64(t.Bits) }))
+	}
 
 	if s.persistLog == nil {
 		return
 	}
+	// The persist pointer is always set on these snapshots: this block
+	// only registers when the durability tier is on.
 	r.Counter("nwserve_wal_records_total", "WAL records appended since start.", func() float64 {
-		return float64(s.persistLog.Stats().WALRecords)
+		return float64(stat().Persist.WALRecords)
 	})
 	r.Gauge("nwserve_wal_bytes", "Current WAL size.", func() float64 {
-		return float64(s.persistLog.Stats().WALBytes)
+		return float64(stat().Persist.WALBytes)
 	})
 	r.Counter("nwserve_snapshots_total", "Snapshots written since start.", func() float64 {
-		return float64(s.persistLog.Stats().Snapshots)
+		return float64(stat().Persist.Snapshots)
 	})
 	r.Gauge("nwserve_last_snapshot_timestamp_seconds",
 		"Unix time of the newest snapshot (0 when none exists).", func() float64 {
-			t := s.persistLog.Stats().LastSnapshot
+			t := stat().Persist.LastSnapshot
 			if t.IsZero() {
 				return 0
 			}
-			return float64(t.UnixNano()) / float64(time.Second)
+			return float64(t.UnixNano()) / 1e9
 		})
 	r.Counter("nwserve_persist_graph_files_total", "Graph files written since start.", func() float64 {
-		return float64(s.persistLog.Stats().GraphFiles)
+		return float64(stat().Persist.GraphFiles)
 	})
 	r.Counter("nwserve_persist_swept_files_total", "Graph files removed by retention sweeps.", func() float64 {
-		return float64(s.persistLog.Stats().SweptFiles)
+		return float64(stat().Persist.SweptFiles)
 	})
 	r.Counter("nwserve_persist_errors_total", "Failed persistence operations.", func() float64 {
-		return float64(s.persistLog.Stats().Errors)
+		return float64(stat().Persist.Errors)
 	})
 	rec := s.recovery
 	r.Gauge("nwserve_recovered_graphs", "Graphs recovered from disk at startup.", func() float64 {

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nwforest"
@@ -37,6 +38,7 @@ import (
 	"nwforest/internal/graph"
 	"nwforest/internal/persist"
 	"nwforest/internal/telemetry"
+	"nwforest/internal/trace"
 )
 
 // Config sizes a Service. The zero value gets sensible defaults.
@@ -100,6 +102,24 @@ type Config struct {
 	// Logger, when non-nil, receives structured request and job logs and
 	// the persistence tier's error reports. Nil disables logging.
 	Logger *slog.Logger
+	// DisableTracing turns the per-job span recorder off entirely: no
+	// recorder is allocated, the dist charge sites pay one nil check,
+	// and GET /jobs/{id}/trace returns 404. The default (false) records
+	// a trace for every job.
+	DisableTracing bool
+	// TraceRoundEvery samples individual engine rounds into traces as
+	// instant events: every Nth round of every engine run (0, the
+	// default, records no round events — phase spans only).
+	TraceRoundEvery int
+	// TraceCapacity / TraceMaxBytes bound the ring of finished traces
+	// (defaults 512 entries / 8 MiB); the oldest traces are evicted
+	// beyond either budget.
+	TraceCapacity int
+	TraceMaxBytes int64
+	// HistoryCapacity / HistoryMaxBytes bound the terminal-job history
+	// served by GET /jobs/history (defaults 4096 entries / 8 MiB).
+	HistoryCapacity int
+	HistoryMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +140,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 5 * time.Minute
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 512
+	}
+	if c.TraceMaxBytes <= 0 {
+		c.TraceMaxBytes = 8 << 20
+	}
+	if c.HistoryCapacity <= 0 {
+		c.HistoryCapacity = 4096
+	}
+	if c.HistoryMaxBytes <= 0 {
+		c.HistoryMaxBytes = 8 << 20
 	}
 	return c
 }
@@ -183,6 +215,17 @@ type Service struct {
 
 	metrics      *telemetry.Registry
 	jobDurations *telemetry.HistogramVec
+	phaseSelf    *telemetry.HistogramVec
+	// statSnap is the Stats snapshot the /metrics collectors read; the
+	// registry's Prepare hook refreshes it once per scrape so a single
+	// exposition is internally consistent.
+	statSnap atomic.Pointer[Stats]
+
+	// traces retains finished jobs' span timelines (GET /jobs/{id}/trace);
+	// history retains terminal job records (GET /jobs/history). Both are
+	// bounded rings independent of job retention.
+	traces  *trace.Ring
+	history *jobHistory
 
 	baseCtx  context.Context
 	stop     context.CancelFunc
@@ -235,6 +278,10 @@ func Open(cfg Config) (*Service, error) {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+		history:  newJobHistory(cfg.HistoryCapacity, cfg.HistoryMaxBytes),
+	}
+	if !cfg.DisableTracing {
+		s.traces = trace.NewRing(cfg.TraceCapacity, cfg.TraceMaxBytes)
 	}
 	if cfg.DataDir != "" {
 		if err := s.openPersistence(); err != nil {
@@ -590,9 +637,14 @@ func (s *Service) watch(j *Job) {
 }
 
 // register assigns an ID and indexes the job; the caller holds s.mu.
+// The span recorder is created here — the ID it carries is the trace
+// ring's key, and registration is the first moment the ID exists.
 func (s *Service) register(j *Job) {
 	s.nextID++
 	j.id = "j-" + strconv.FormatInt(s.nextID, 10)
+	if s.traces != nil {
+		j.rec = trace.NewRecorder(j.id, j.created, s.cfg.TraceRoundEvery)
+	}
 	s.jobs[j.id] = j
 }
 
@@ -677,8 +729,13 @@ func (s *Service) runJob(j *Job) {
 	ch := make(chan outcome, 1)
 	// The job's event hub rides down into the algorithm as the cost
 	// account's progress hook, so SSE subscribers see phases and rounds
-	// as they are charged.
+	// as they are charged; the span recorder rides alongside it and turns
+	// the same charge stream into phase spans.
 	execCtx := dist.WithProgress(j.ctx, j.hub.progress)
+	if j.rec != nil {
+		j.rec.BeginExecution(started)
+		execCtx = dist.WithSpans(execCtx, j.rec)
+	}
 	go func() {
 		defer func() {
 			// A panicking algorithm must fail its job, not kill the daemon.
@@ -770,6 +827,7 @@ func (s *Service) pruneFinished(j *Job) {
 		}
 		s.logger.Info("job finished", attrs...)
 	}
+	s.finalizeObservability(snap, j.rec)
 	// Cache hits and dedup followers share one *JobResult with the cache
 	// entry (and with each other), so only an actually-computed result
 	// counts its full size toward retention; shared references pin ~0
@@ -800,6 +858,99 @@ func (s *Service) pruneFinished(j *Job) {
 		s.retainedBytes -= oldest.bytes
 		delete(s.jobs, oldest.id)
 	}
+}
+
+// resultPhases extracts the round count and per-phase cost breakdown
+// from whichever result shape the algorithm produced.
+func resultPhases(res *JobResult) (int, []dist.Phase) {
+	switch {
+	case res == nil:
+		return 0, nil
+	case res.Decomposition != nil:
+		return res.Decomposition.Rounds, res.Decomposition.Phases
+	case res.Orientation != nil:
+		return res.Orientation.Rounds, res.Orientation.Phases
+	default:
+		return res.Rounds, res.Phases
+	}
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// finalizeObservability closes out a terminal job's observability state:
+// it attaches the queue and run spans, finalizes the trace against the
+// result's authoritative cost breakdown, moves the trace into the ring,
+// feeds the per-phase self-time histogram, and appends the job-history
+// record. pruneFinished — run exactly once per terminal job — is the
+// only caller, so traces land in the ring exactly once. Cost breakdowns
+// are recorded only for jobs that actually computed (cache hits,
+// followers, failures and cancellations carry none), keeping the ring's
+// cumulative phase totals a faithful count of work performed.
+func (s *Service) finalizeObservability(snap JobSnapshot, rec *trace.Recorder) {
+	finished := snap.CreatedAt
+	if snap.FinishedAt != nil {
+		finished = *snap.FinishedAt
+	}
+	hr := JobRecord{
+		ID:         snap.ID,
+		GraphID:    snap.Spec.GraphID,
+		Algorithm:  snap.Spec.Algorithm,
+		Mode:       snap.Spec.effectiveMode(),
+		State:      snap.State,
+		Cached:     snap.Cached,
+		Error:      snap.Error,
+		CreatedAt:  snap.CreatedAt,
+		FinishedAt: finished,
+		HasTrace:   rec != nil,
+	}
+	queueEnd := finished
+	if snap.StartedAt != nil {
+		queueEnd = *snap.StartedAt
+		hr.RunMillis = millis(finished.Sub(*snap.StartedAt))
+	}
+	hr.QueueMillis = millis(queueEnd.Sub(snap.CreatedAt))
+	var phases []dist.Phase
+	if snap.State == JobDone && !snap.Cached {
+		hr.Rounds, phases = resultPhases(snap.Result)
+		hr.Phases = phases
+		for _, p := range phases {
+			hr.Messages += p.Messages
+			hr.Bits += p.Bits
+		}
+	}
+	if rec != nil {
+		rec.AddSpan("queue", "job", snap.CreatedAt, queueEnd, nil)
+		if snap.StartedAt != nil {
+			rec.AddSpan("run "+snap.Spec.Algorithm, "job", *snap.StartedAt, finished,
+				map[string]any{"state": string(snap.State), "cached": snap.Cached})
+		}
+		cps := make([]trace.CostPhase, len(phases))
+		for i, p := range phases {
+			cps[i] = trace.CostPhase{Name: p.Name, Rounds: p.Rounds, Messages: p.Messages, Bits: p.Bits}
+		}
+		rec.Finish(finished, cps)
+		s.traces.Put(rec)
+		if s.phaseSelf != nil {
+			for _, p := range rec.Phases() {
+				s.phaseSelf.Observe(p.Name, p.Self.Seconds())
+			}
+		}
+	}
+	s.history.add(hr)
+}
+
+// Trace returns the retained trace for a job ID (false when tracing is
+// disabled, the job is unknown, or the trace was evicted).
+func (s *Service) Trace(id string) (*trace.Recorder, bool) {
+	return s.traces.Get(id)
+}
+
+// History returns terminal job records matching the filter, newest
+// first.
+func (s *Service) History(state JobState, algorithm string, limit int) []JobRecord {
+	return s.history.list(historyFilter{state: state, algo: algorithm, limit: limit})
 }
 
 // execute fetches the graph and dispatches to the requested entry point,
@@ -862,8 +1013,10 @@ func (s *Service) tryIncremental(ctx context.Context, g *graph.Graph, spec JobSp
 		return nil, false
 	}
 	// Repair rounds are charged to the maintainer's own cost account;
-	// forward them to the same progress hook a full run would use.
+	// forward them to the same progress and span hooks a full run would
+	// use.
 	m.Cost().SetProgress(dist.ProgressFromContext(ctx))
+	m.Cost().SetSpans(dist.SpansFromContext(ctx))
 	for _, id := range mut.Delete {
 		if err := m.DeleteEdge(id); err != nil {
 			return nil, false
@@ -935,7 +1088,11 @@ func (sp JobSpec) validate() error {
 	return nil
 }
 
-// Stats is the /stats payload.
+// Stats is the /stats payload. It is also the single source of truth
+// behind /metrics: every counter and gauge collector there reads from a
+// Stats snapshot refreshed once per scrape, so the two endpoints can
+// never drift — any number visible in one is derived from the same
+// struct the other serializes.
 type Stats struct {
 	Workers    int            `json:"workers"`
 	QueueDepth int            `json:"queueDepth"`
@@ -949,6 +1106,15 @@ type Stats struct {
 	RetainedResultBytes int64      `json:"retainedResultBytes"`
 	Store               StoreStats `json:"store"`
 	Results             CacheStats `json:"results"`
+	// Trace and History describe the observability rings behind
+	// GET /jobs/{id}/trace and GET /jobs/history. Trace is all-zero when
+	// tracing is disabled.
+	Trace   trace.RingStats `json:"trace"`
+	History HistoryStats    `json:"history"`
+	// Persist reports the durability tier's counters and Recovery what
+	// Open reconstructed from disk; both are nil when persistence is off.
+	Persist  *persist.Stats `json:"persist,omitempty"`
+	Recovery *RecoveryInfo  `json:"recovery,omitempty"`
 }
 
 // Stats returns a snapshot of the service's counters.
@@ -960,7 +1126,7 @@ func (s *Service) Stats() Stats {
 	}
 	dedups, retained := s.dedups, s.retainedBytes
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Workers:             s.cfg.Workers,
 		QueueDepth:          len(s.queue),
 		QueueCap:            cap(s.queue),
@@ -969,7 +1135,16 @@ func (s *Service) Stats() Stats {
 		RetainedResultBytes: retained,
 		Store:               s.store.Stats(),
 		Results:             s.cache.stats(),
+		Trace:               s.traces.Stats(),
+		History:             s.history.stats(),
 	}
+	if s.persistLog != nil {
+		ps := s.persistLog.Stats()
+		rec := s.recovery
+		st.Persist = &ps
+		st.Recovery = &rec
+	}
+	return st
 }
 
 // Close shuts the service down gracefully: new submissions fail with

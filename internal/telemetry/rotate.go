@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// RotatingWriter is an io.Writer appending to a file with size-based
+// rotation: when a write would push the current file past maxBytes, the
+// file is renamed to path.1 (existing path.1 shifts to path.2, and so
+// on), at most maxFiles rotated files are kept, and writing continues
+// into a fresh file at path. It exists so nwserve's -log-file flag
+// cannot fill a disk: the retained logs are bounded by roughly
+// (maxFiles+1) * maxBytes.
+//
+// Writes are serialized by an internal mutex, so one RotatingWriter is
+// safe as an slog handler's destination. A single write larger than
+// maxBytes is written whole (never split across files); the oversized
+// file rotates out on the next write.
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	maxFiles int
+	f        *os.File
+	size     int64
+}
+
+// NewRotatingWriter opens (or creates) path for appending. maxBytes
+// must be positive; maxFiles is how many rotated files to keep beside
+// the live one (0 = discard on rotation).
+func NewRotatingWriter(path string, maxBytes int64, maxFiles int) (*RotatingWriter, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("telemetry: rotating writer needs a positive size bound, got %d", maxBytes)
+	}
+	if maxFiles < 0 {
+		maxFiles = 0
+	}
+	w := &RotatingWriter{path: path, maxBytes: maxBytes, maxFiles: maxFiles}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RotatingWriter) open() error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.size = info.Size()
+	return nil
+}
+
+// rotated names the i-th rotated file (1 = newest).
+func (w *RotatingWriter) rotated(i int) string {
+	return w.path + "." + strconv.Itoa(i)
+}
+
+// rotate shifts path -> path.1 -> path.2 -> ... -> dropped, then opens a
+// fresh file at path. Rename failures (e.g. the file does not exist yet)
+// are ignored for the shifts; only reopening the live file can fail.
+func (w *RotatingWriter) rotate() error {
+	w.f.Close()
+	if w.maxFiles == 0 {
+		os.Remove(w.path)
+	} else {
+		os.Remove(w.rotated(w.maxFiles))
+		for i := w.maxFiles - 1; i >= 1; i-- {
+			os.Rename(w.rotated(i), w.rotated(i+1))
+		}
+		os.Rename(w.path, w.rotated(1))
+	}
+	return w.open()
+}
+
+// Write appends p, rotating first when it would breach the size bound.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// Close closes the live file; the writer is unusable afterwards.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeN(t *testing.T, w *RotatingWriter, b []byte, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := w.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRotatingWriterRotatesAtSizeBound(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.log")
+	w, err := NewRotatingWriter(path, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	line := bytes.Repeat([]byte("x"), 39)
+	line = append(line, '\n') // 40 bytes: two fit under 100, the third rotates
+	writeN(t, w, line, 3)
+
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur) != 40 {
+		t.Fatalf("current file holds %d bytes after rotation, want 40", len(cur))
+	}
+	old, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated file missing: %v", err)
+	}
+	if len(old) != 80 {
+		t.Fatalf("rotated file holds %d bytes, want the 80 written before rotation", len(old))
+	}
+}
+
+func TestRotatingWriterPrunesBeyondMaxFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.log")
+	w, err := NewRotatingWriter(path, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Each 10-byte write fills a generation; 5 writes force 4 rotations.
+	writeN(t, w, []byte("0123456789"), 5)
+
+	for _, want := range []string{path, path + ".1", path + ".2"} {
+		if _, err := os.Stat(want); err != nil {
+			t.Errorf("expected %s to exist: %v", want, err)
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Errorf("generation beyond maxFiles must be dropped, stat err = %v", err)
+	}
+}
+
+func TestRotatingWriterOversizedSingleWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.log")
+	w, err := NewRotatingWriter(path, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	big := bytes.Repeat([]byte("y"), 50)
+	if n, err := w.Write(big); err != nil || n != len(big) {
+		t.Fatalf("oversized write: n=%d err=%v", n, err)
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cur, big) {
+		t.Fatalf("oversized record split across files: current holds %d bytes", len(cur))
+	}
+	// The next write rotates the oversized file out rather than growing it.
+	if _, err := w.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if old, err := os.ReadFile(path + ".1"); err != nil || len(old) != 50 {
+		t.Fatalf("oversized generation not rotated out: len=%d err=%v", len(old), err)
+	}
+}
+
+func TestRotatingWriterAppendsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.log")
+	w, err := NewRotatingWriter(path, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeN(t, w, []byte("first\n"), 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A restarted process picks up the existing size and keeps appending.
+	w2, err := NewRotatingWriter(path, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	writeN(t, w2, bytes.Repeat([]byte("a"), 95), 1) // 6+95 > 100: rotates
+	if old, err := os.ReadFile(path + ".1"); err != nil || string(old) != "first\n" {
+		t.Fatalf("pre-restart bytes not rotated intact: %q err=%v", old, err)
+	}
+}
+
+func TestNewRotatingWriterRejectsBadSize(t *testing.T) {
+	if _, err := NewRotatingWriter(filepath.Join(t.TempDir(), "l"), 0, 1); err == nil {
+		t.Fatal("maxBytes=0 accepted")
+	}
+}

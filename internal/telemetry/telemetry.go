@@ -61,6 +61,19 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	names    map[string]bool
+	prepare  []func()
+}
+
+// Prepare registers a hook run at the start of every scrape, before any
+// collect function. A caller whose collectors read from a shared
+// snapshot uses it to refresh that snapshot exactly once per scrape, so
+// every family in one exposition describes the same instant instead of
+// each collector sampling the live counters at a slightly different
+// time.
+func (r *Registry) Prepare(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prepare = append(r.prepare, fn)
 }
 
 // NewRegistry returns an empty registry.
@@ -178,7 +191,11 @@ func (h *HistogramVec) Observe(labelValue string, v float64) {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	families := append([]*family(nil), r.families...)
+	prepare := append([]func(){}, r.prepare...)
 	r.mu.Unlock()
+	for _, fn := range prepare {
+		fn()
+	}
 	var b strings.Builder
 	for _, f := range families {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
