@@ -42,6 +42,7 @@ type File struct {
 	Schema      int      `json:"schema"`
 	Go          string   `json:"go"`
 	CPU         string   `json:"cpu"`
+	Tier        string   `json:"tier"`
 	Scale       int      `json:"scale"`
 	Seed        uint64   `json:"seed"`
 	Count       int      `json:"count"`
@@ -77,6 +78,9 @@ func main() {
 		fatal(fmt.Errorf("incomparable runs: baseline scale=%d seed=%d vs new scale=%d seed=%d",
 			base.Scale, base.Seed, cur.Scale, cur.Seed))
 	}
+	if base.Tier != cur.Tier {
+		fatal(fmt.Errorf("incomparable runs: baseline tier %q vs new tier %q", base.Tier, cur.Tier))
+	}
 	gateNS := *forceNS || (base.CPU != "" && base.CPU == cur.CPU)
 	if !gateNS {
 		fmt.Printf("benchcmp: ns/op not gated (baseline CPU %q, new CPU %q); gating allocs/op and B/op only\n",
@@ -99,6 +103,11 @@ func main() {
 		failures += compare(old.Name, "B/op", old.BOp, now.BOp, *threshold, 4096)
 		if gateNS {
 			failures += compare(old.Name, "ns/op", old.NsOp, now.NsOp, *nsThreshold, 1_000_000)
+		} else {
+			// Say so per experiment: a reader scanning one experiment's block
+			// must see that wall time was skipped, not assume it passed.
+			fmt.Printf("skip %-12s %-9s %12d -> %12d (cpu mismatch, not gated)\n",
+				old.Name, "ns/op", old.NsOp, now.NsOp)
 		}
 		delete(curByName, old.Name)
 	}

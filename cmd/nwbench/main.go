@@ -8,12 +8,18 @@
 // ...) — the format the committed BENCH_*.json baselines use and the CI
 // bench-regression gate (cmd/benchcmp) compares against.
 //
+// Experiments are grouped into tiers: the fast tier (default) runs on
+// every PR; the big tier (-tier big) holds the large-graph workloads the
+// CI big-bench job runs at elevated -scale against BENCH_PR8_BIG.json.
+//
 // Usage:
 //
 //	nwbench -list
 //	nwbench -exp table1
 //	nwbench -exp all -scale 2 -seed 7
 //	nwbench -json -count 5 -o BENCH_PR3.json
+//	nwbench -tier big -scale 10 -seed 1 -json -count 2 -o BENCH_PR8_BIG.new.json
+//	nwbench -json -cpuprofile cpu.pprof -o /dev/null   # profile for -pgo builds
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,11 +44,15 @@ type BenchRecord struct {
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
-// BenchFile is the top-level -json document.
+// BenchFile is the top-level -json document. Tier is "" for the fast
+// tier (so pre-existing baselines like BENCH_PR5.json stay comparable)
+// and the tier name otherwise; benchcmp refuses to compare files from
+// different tiers.
 type BenchFile struct {
 	Schema      int           `json:"schema"`
 	Go          string        `json:"go"`
 	CPU         string        `json:"cpu,omitempty"`
+	Tier        string        `json:"tier,omitempty"`
 	Scale       int           `json:"scale"`
 	Seed        uint64        `json:"seed"`
 	Count       int           `json:"count"`
@@ -50,25 +61,41 @@ type BenchFile struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment name, or 'all'")
+	tier := flag.String("tier", "fast", "with -exp all: which tier to run (fast, big, or all)")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	seed := flag.Uint64("seed", 12345, "random seed")
 	list := flag.Bool("list", false, "list available experiments")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark records instead of tables")
 	count := flag.Int("count", 3, "with -json: runs per experiment (best wall time is kept)")
 	out := flag.String("o", "-", "with -json: output file ('-' = stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the runs to this file (feeds go build -pgo)")
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.Registry {
-			fmt.Printf("%-12s %s\n", r.Name, r.Desc)
+			t := r.Tier
+			if t == "" {
+				t = "fast"
+			}
+			fmt.Printf("%-12s [%s] %s\n", r.Name, t, r.Desc)
 		}
 		return
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	var runners []experiments.Runner
 	if *exp == "all" {
-		runners = experiments.Registry
+		for _, r := range experiments.Registry {
+			if tierMatches(*tier, r.Tier) {
+				runners = append(runners, r)
+			}
+		}
+		if len(runners) == 0 {
+			fmt.Fprintf(os.Stderr, "nwbench: no experiments in tier %q (want fast, big, or all)\n", *tier)
+			os.Exit(2)
+		}
 	} else {
+		// An explicit -exp bypasses the tier filter: naming an experiment
+		// is already the selection.
 		r := experiments.Find(*exp)
 		if r == nil {
 			fmt.Fprintf(os.Stderr, "nwbench: unknown experiment %q (use -list)\n", *exp)
@@ -77,8 +104,24 @@ func main() {
 		runners = []experiments.Runner{*r}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nwbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nwbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	if *jsonOut {
-		if err := runJSON(runners, cfg, *count, *out); err != nil {
+		if err := runJSON(runners, cfg, *count, *out, fileTier(*tier, *exp)); err != nil {
 			fmt.Fprintf(os.Stderr, "nwbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -100,7 +143,30 @@ func main() {
 	}
 }
 
-func runJSON(runners []experiments.Runner, cfg experiments.Config, count int, out string) error {
+// tierMatches reports whether a runner with the given Tier tag belongs
+// to the -tier selection. Runners with an empty tag are the fast tier.
+func tierMatches(sel, tag string) bool {
+	switch sel {
+	case "all":
+		return true
+	case "fast", "":
+		return tag == ""
+	default:
+		return tag == sel
+	}
+}
+
+// fileTier is the Tier recorded in the output document: "" for fast-tier
+// runs (baseline compatibility) and single-experiment runs, the tier
+// name otherwise.
+func fileTier(tier, exp string) string {
+	if exp != "all" || tier == "fast" || tier == "" {
+		return ""
+	}
+	return tier
+}
+
+func runJSON(runners []experiments.Runner, cfg experiments.Config, count int, out, tier string) error {
 	if count < 1 {
 		count = 1
 	}
@@ -108,6 +174,7 @@ func runJSON(runners []experiments.Runner, cfg experiments.Config, count int, ou
 		Schema: 1,
 		Go:     runtime.Version(),
 		CPU:    cpuModel(),
+		Tier:   tier,
 		Scale:  cfg.Scale,
 		Seed:   cfg.Seed,
 		Count:  count,

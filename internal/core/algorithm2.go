@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"time"
 
 	"nwforest/internal/dist"
 	"nwforest/internal/forest"
@@ -36,7 +38,33 @@ type Algo2Options struct {
 	MaxVisited int
 	// SampleP overrides the deletion probability of CutSampled (0 = auto).
 	SampleP float64
+	// Workers bounds the goroutines of the per-cluster phase: 0 selects
+	// GOMAXPROCS on graphs with at least parallelClusterThreshold
+	// vertices (sequential below it), 1 forces the sequential path, any
+	// larger value forces a pool of that size. Every setting produces
+	// bit-identical results — same colors, same leftover order, same
+	// stats — so Workers only affects wall-clock time (the dist.Engine
+	// contract). See the package documentation for why: same-class
+	// clusters of the network decomposition are at G-distance > 2(R+R'),
+	// so their radius-(R+R') balls — which contain every read and write
+	// of a cluster's CUT + augmentation — are vertex-disjoint.
+	Workers int
+	// PhaseNs, when non-nil, receives wall-clock phase timings of this
+	// run (benchmark instrumentation; no effect on the result).
+	PhaseNs *Algo2PhaseNs
 }
+
+// Algo2PhaseNs reports where RunAlgorithm2's wall-clock time went:
+// the (sequential, engine-parallel) network decomposition versus the
+// per-cluster CUT + augmentation phase that Workers parallelizes.
+type Algo2PhaseNs struct {
+	NetdecompNs int64
+	ClustersNs  int64
+}
+
+// parallelClusterThreshold is the vertex count above which Workers == 0
+// goes parallel (aligned with dist.Engine's auto threshold).
+const parallelClusterThreshold = 2048
 
 // Algo2Stats instruments a run for the experiment harness.
 type Algo2Stats struct {
@@ -86,6 +114,11 @@ func autoRadii(n int, eps float64) (rPrime, r int) {
 // its annulus, then colors its incident uncolored edges by local
 // augmenting sequences. Rounds are charged to cost.
 //
+// The per-cluster work of a class runs on a bounded worker pool when
+// opts.Workers permits (the paper's clusters of one class are
+// independent, and their read/write footprints are vertex-disjoint
+// balls), bit-identically to the sequential path.
+//
 // ctx is checked once per cluster, so cancellation interrupts the
 // augmentation phase mid-class rather than only between phases.
 func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost *dist.Cost) (*Algo2Result, error) {
@@ -94,6 +127,9 @@ func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost 
 	}
 	if opts.Rule == 0 {
 		opts.Rule = CutModDepth
+	}
+	if opts.Rule != CutModDepth && opts.Rule != CutSampled {
+		return nil, fmt.Errorf("core: unknown cut rule %d", opts.Rule)
 	}
 	rPrime, r := opts.RPrime, opts.R
 	if rPrime == 0 || r == 0 {
@@ -115,9 +151,13 @@ func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost 
 		return res, nil
 	}
 
+	tND := time.Now()
 	nd, err := netdecomp.Decompose(g, unit, src.Split(1).Uint64(), cost)
 	if err != nil {
 		return nil, fmt.Errorf("core: network decomposition: %w", err)
+	}
+	if opts.PhaseNs != nil {
+		opts.PhaseNs.NetdecompNs = time.Since(tND).Nanoseconds()
 	}
 	res.Stats.Classes = nd.NumClasses
 
@@ -156,20 +196,34 @@ func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost 
 		maxVisited = 4 * g.M()
 	}
 
-	processed := make([]bool, g.M())
-	removed := make([]bool, g.M())
+	rn := &algo2Run{
+		g:          g,
+		st:         st,
+		palettes:   opts.Palettes,
+		rule:       opts.Rule,
+		r:          r,
+		rPrime:     rPrime,
+		maxVisited: maxVisited,
+		sampler:    sampler,
+		src:        src,
+		res:        res,
+		processed:  make([]bool, g.M()),
+		removed:    make([]bool, g.M()),
+		innerMark:  make([]uint32, g.N()),
+		outerMark:  make([]uint32, g.N()),
+	}
+	workers := resolveWorkers(opts.Workers, g.N())
 	logN := int(math.Ceil(math.Log2(float64(g.N() + 2))))
 
-	// Per-cluster scratch, reused across all clusters: the inner and
-	// outer balls are epoch-stamped marks filled by a shared-buffer BFS,
-	// and one Searcher carries the augmenting-search state.
-	searcher := NewSearcher(st)
-	var bfs graph.BFSScratch
-	innerMark := make([]uint32, g.N())
-	outerMark := make([]uint32, g.N())
-	var clusterEp uint32
-	var annulus []int32
-
+	tCl := time.Now()
+	if workers > 1 {
+		rn.pool = newA2Pool(workers, st)
+		defer rn.pool.close()
+		rn.owner = make([]int32, g.N())
+		rn.ownerEp = make([]uint32, g.N())
+	} else {
+		rn.seqArena = newAlgo2Arena(st)
+	}
 	for class := int32(0); class < int32(nd.NumClasses); class++ {
 		clusters := nd.Clusters(class)
 		centers := make([]int32, 0, len(clusters))
@@ -177,81 +231,382 @@ func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost 
 			centers = append(centers, center)
 		}
 		sortInt32(centers) // deterministic processing order
-		for _, center := range centers {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			members := clusters[center]
-			res.Stats.Clusters++
-			clusterEp++
-			ep := clusterEp
-			g.BFSWith(&bfs, members, rPrime, func(v int32, _ int) { innerMark[v] = ep })
-			// The outer pass also collects the annulus (outer minus inner).
-			annulus = annulus[:0]
-			g.BFSWith(&bfs, members, r+rPrime, func(v int32, _ int) {
-				outerMark[v] = ep
-				if innerMark[v] != ep {
-					annulus = append(annulus, v)
-				}
-			})
-			inInner := func(v int32) bool { return innerMark[v] == ep }
-			inOuter := func(v int32) bool { return outerMark[v] == ep }
-
-			// CUT the annulus (Theorem 4.2).
-			sortInt32(annulus)
-			var cut []int32
-			switch opts.Rule {
-			case CutModDepth:
-				cut = cutModDepth(st, annulus, inInner, r, src.Split(uint64(center)+7))
-			case CutSampled:
-				cut = sampler.cut(st, annulus, src.Split(uint64(center)+7))
-			default:
-				return nil, fmt.Errorf("core: unknown cut rule %d", opts.Rule)
-			}
-			for _, id := range cut {
-				if !removed[id] {
-					removed[id] = true
-					res.Leftover = append(res.Leftover, id)
-					res.Stats.RemovedByCut++
-				}
-			}
-
-			// Color the uncolored edges incident to the cluster by local
-			// augmentation (lines 6-7 of Algorithm 2).
-			for _, v := range members {
-				for _, a := range g.Adj(v) {
-					id := a.Edge
-					if processed[id] || removed[id] {
-						continue
-					}
-					processed[id] = true
-					if st.Color(id) != verify.Uncolored {
-						continue
-					}
-					seq, stats := searcher.FindAugmenting(opts.Palettes, id, inInner, inOuter, maxVisited)
-					if seq == nil {
-						removed[id] = true
-						res.Leftover = append(res.Leftover, id)
-						res.Stats.AugmentFail++
-						continue
-					}
-					Apply(st, seq)
-					res.Stats.Augmented++
-					res.Stats.SumSeqLen += stats.Length
-					if stats.Length > res.Stats.MaxSeqLen {
-						res.Stats.MaxSeqLen = stats.Length
-					}
-					if stats.Radius > res.Stats.MaxSeqRadius {
-						res.Stats.MaxSeqRadius = stats.Radius
-					}
-				}
-			}
+		var err error
+		if workers > 1 {
+			err = rn.runClassParallel(ctx, centers, clusters)
+		} else {
+			err = rn.runClassSequential(ctx, centers, clusters)
+		}
+		if err != nil {
+			return nil, err
 		}
 		// All clusters of a class run in parallel; the class costs the
 		// weak-diameter simulation bound O((R+R') log n).
 		cost.Charge(2*(r+rPrime)*logN, "core/algorithm2-class")
 	}
+	if opts.PhaseNs != nil {
+		opts.PhaseNs.ClustersNs = time.Since(tCl).Nanoseconds()
+	}
 	return res, nil
+}
+
+// resolveWorkers maps the Workers option to a concrete pool size.
+func resolveWorkers(opt, n int) int {
+	if opt == 1 || opt < 0 {
+		return 1
+	}
+	if opt > 1 {
+		return opt
+	}
+	if n < parallelClusterThreshold {
+		return 1
+	}
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// algo2Run is the mutable state of one RunAlgorithm2 call shared across
+// classes and (in the parallel path) across workers. The concurrency
+// invariant: same-class clusters only touch st/processed/removed at
+// indices inside their own vertex-disjoint ball footprints, so parallel
+// workers never write (or read-write) a shared location.
+type algo2Run struct {
+	g          *graph.Graph
+	st         *forest.State
+	palettes   [][]int32
+	rule       CutRule
+	r, rPrime  int
+	maxVisited int
+	sampler    *sampleCutState
+	src        *rng.Source
+	res        *Algo2Result
+
+	processed []bool
+	removed   []bool
+
+	// Ball membership marks: innerMark[v] == job.ep iff v is in the
+	// cluster's inner (radius R') ball, outerMark likewise for the
+	// radius R+R' ball. Same-class balls are disjoint, so concurrent
+	// stamping never writes one slot twice.
+	innerMark []uint32
+	outerMark []uint32
+	clusterEp uint32
+
+	// Conflict stamping (parallel path): owner[v] is the class-local
+	// cluster index that claimed v this round, valid iff ownerEp[v] ==
+	// stampEp. Any doubly-claimed vertex demotes both claimants to the
+	// sequential pass — the safety net that turns the disjointness
+	// proof into a runtime check, and the correctness mechanism for
+	// CutSampled's one-hop halo writes.
+	owner   []int32
+	ownerEp []uint32
+	stampEp uint32
+
+	pool     *a2pool
+	seqArena *algo2Arena
+
+	// jobs is the parallel path's per-class job slice, reused across
+	// classes so ball/annulus/leftover buffers amortize to zero.
+	jobs []clusterJob
+}
+
+// clusterJob is the per-cluster unit of work and its collected results.
+type clusterJob struct {
+	center  int32
+	members []int32
+	ep      uint32
+
+	// ball holds the radius-(R+R') ball in BFS visit order; the first
+	// innerEnd entries are the inner (radius R') ball. annulus is the
+	// sorted ball minus inner. halo (CutSampled only) is the extra
+	// one-hop shell whose incident edges a sampled cut may touch.
+	ball     []int32
+	innerEnd int
+	annulus  []int32
+	halo     []int32
+
+	conflicted bool
+
+	// leftover collects this cluster's removed edges in exactly the
+	// order the sequential path would append them to res.Leftover:
+	// CUT removals first, then augmentation failures in member order.
+	leftover []int32
+	stats    clusterStats
+}
+
+type clusterStats struct {
+	clusters     int
+	augmented    int
+	augmentFail  int
+	removedByCut int
+	maxSeqLen    int
+	maxSeqRadius int
+	sumSeqLen    int
+}
+
+// algo2Arena is one worker's private scratch: a Searcher (whose
+// forest.Scratch also backs the CUT tree queries) and an epoch-stamped
+// BFS scratch for the ball computations. Arenas are created once per
+// run, so the steady state of the cluster phase allocates only results.
+type algo2Arena struct {
+	searcher *Searcher
+	bfs      graph.BFSEpochScratch
+}
+
+func newAlgo2Arena(st *forest.State) *algo2Arena {
+	return &algo2Arena{searcher: NewSearcher(st)}
+}
+
+// allocEpochs reserves count consecutive cluster epochs, clearing the
+// mark arrays on uint32 wraparound so stale stamps cannot collide.
+func (rn *algo2Run) allocEpochs(count int) uint32 {
+	if rn.clusterEp > ^uint32(0)-uint32(count) {
+		clear(rn.innerMark)
+		clear(rn.outerMark)
+		rn.clusterEp = 0
+	}
+	base := rn.clusterEp + 1
+	rn.clusterEp += uint32(count)
+	return base
+}
+
+// computeBall fills job.ball/innerEnd/annulus (+halo when wantHalo) by
+// one epoch-stamped BFS from the members, classifying by distance.
+func (rn *algo2Run) computeBall(job *clusterJob, a *algo2Arena, wantHalo bool) {
+	outerR := rn.r + rn.rPrime
+	maxD := outerR
+	if wantHalo {
+		maxD++
+	}
+	job.ball = job.ball[:0]
+	job.annulus = job.annulus[:0]
+	job.halo = job.halo[:0]
+	rn.g.BFSEpochWith(&a.bfs, job.members, maxD, func(v int32, d int) {
+		switch {
+		case d <= rn.rPrime:
+			job.ball = append(job.ball, v)
+		case d <= outerR:
+			job.ball = append(job.ball, v)
+			job.annulus = append(job.annulus, v)
+		default:
+			job.halo = append(job.halo, v)
+		}
+	})
+	job.innerEnd = len(job.ball) - len(job.annulus)
+	sortInt32(job.annulus)
+}
+
+// stampMarks publishes the job's ball membership under its epoch.
+func (rn *algo2Run) stampMarks(job *clusterJob) {
+	ep := job.ep
+	for i, v := range job.ball {
+		rn.outerMark[v] = ep
+		if i < job.innerEnd {
+			rn.innerMark[v] = ep
+		}
+	}
+}
+
+// processCluster runs one cluster's CUT + augmentation, assuming its
+// marks are stamped. All writes land inside the cluster's ball (plus,
+// for CutSampled, its one-hop halo), at edges no concurrently-running
+// cluster can observe.
+func (rn *algo2Run) processCluster(job *clusterJob, a *algo2Arena) {
+	ep := job.ep
+	inInner := func(v int32) bool { return rn.innerMark[v] == ep }
+	inOuter := func(v int32) bool { return rn.outerMark[v] == ep }
+
+	// CUT the annulus (Theorem 4.2).
+	var cut []int32
+	switch rn.rule {
+	case CutModDepth:
+		cut = cutModDepth(rn.st, a.searcher.fsc, job.annulus, inInner, rn.r, rn.src.Split(uint64(job.center)+7))
+	case CutSampled:
+		cut = rn.sampler.cut(rn.st, job.annulus, rn.src.Split(uint64(job.center)+7))
+	}
+	for _, id := range cut {
+		if !rn.removed[id] {
+			rn.removed[id] = true
+			job.leftover = append(job.leftover, id)
+			job.stats.removedByCut++
+		}
+	}
+
+	// Color the uncolored edges incident to the cluster by local
+	// augmentation (lines 6-7 of Algorithm 2).
+	for _, v := range job.members {
+		for _, adj := range rn.g.Adj(v) {
+			id := adj.Edge
+			if rn.processed[id] || rn.removed[id] {
+				continue
+			}
+			rn.processed[id] = true
+			if rn.st.Color(id) != verify.Uncolored {
+				continue
+			}
+			seq, stats := a.searcher.FindAugmenting(rn.palettes, id, inInner, inOuter, rn.maxVisited)
+			if seq == nil {
+				rn.removed[id] = true
+				job.leftover = append(job.leftover, id)
+				job.stats.augmentFail++
+				continue
+			}
+			Apply(rn.st, seq)
+			job.stats.augmented++
+			job.stats.sumSeqLen += stats.Length
+			if stats.Length > job.stats.maxSeqLen {
+				job.stats.maxSeqLen = stats.Length
+			}
+			if stats.Radius > job.stats.maxSeqRadius {
+				job.stats.maxSeqRadius = stats.Radius
+			}
+		}
+	}
+	job.stats.clusters++
+}
+
+// mergeJob folds one finished cluster into the result, in center order.
+func (rn *algo2Run) mergeJob(job *clusterJob) {
+	s := &rn.res.Stats
+	s.Clusters += job.stats.clusters
+	s.Augmented += job.stats.augmented
+	s.AugmentFail += job.stats.augmentFail
+	s.RemovedByCut += job.stats.removedByCut
+	s.SumSeqLen += job.stats.sumSeqLen
+	if job.stats.maxSeqLen > s.MaxSeqLen {
+		s.MaxSeqLen = job.stats.maxSeqLen
+	}
+	if job.stats.maxSeqRadius > s.MaxSeqRadius {
+		s.MaxSeqRadius = job.stats.maxSeqRadius
+	}
+	rn.res.Leftover = append(rn.res.Leftover, job.leftover...)
+}
+
+// runClassSequential processes a class's clusters one by one in center
+// order — the reference schedule the parallel path is measured against.
+func (rn *algo2Run) runClassSequential(ctx context.Context, centers []int32, clusters map[int32][]int32) error {
+	var job clusterJob
+	for _, center := range centers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		job.center = center
+		job.members = clusters[center]
+		job.ep = rn.allocEpochs(1)
+		job.leftover = job.leftover[:0]
+		job.stats = clusterStats{}
+		job.conflicted = false
+		rn.computeBall(&job, rn.seqArena, false)
+		rn.stampMarks(&job)
+		rn.processCluster(&job, rn.seqArena)
+		rn.mergeJob(&job)
+	}
+	return nil
+}
+
+// runClassParallel is the bit-identical parallel schedule:
+//
+//	A. every cluster's ball is computed concurrently (pure reads);
+//	B. footprints are claim-stamped sequentially in center order; any
+//	   overlap demotes both clusters to the sequential pass;
+//	C. the clean clusters — provably disjoint from everyone — run their
+//	   CUT + augmentation concurrently on the pool;
+//	C2. the demoted clusters run sequentially in center order;
+//	D. per-cluster leftovers and stats merge sequentially in center
+//	   order, reproducing the sequential append order exactly.
+//
+// Disjointness makes every cluster's work commute with the others', so
+// phases C/C2 produce the same State as the fully sequential
+// interleaving; D restores the order of the shared accumulators.
+func (rn *algo2Run) runClassParallel(ctx context.Context, centers []int32, clusters map[int32][]int32) error {
+	for len(rn.jobs) < len(centers) {
+		rn.jobs = append(rn.jobs, clusterJob{})
+	}
+	jobs := rn.jobs[:len(centers)]
+	base := rn.allocEpochs(len(centers))
+	for i, center := range centers {
+		j := &jobs[i]
+		j.center, j.members, j.ep = center, clusters[center], base+uint32(i)
+		j.conflicted = false
+		j.leftover = j.leftover[:0]
+		j.stats = clusterStats{}
+	}
+	wantHalo := rn.rule == CutSampled
+
+	// Phase A: ball computation, embarrassingly parallel.
+	rn.pool.runBatch(len(jobs), func(w, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		rn.computeBall(&jobs[i], rn.pool.arenas[w], wantHalo)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase B: claim footprints in center order; overlaps go sequential.
+	rn.stampEp++
+	if rn.stampEp == 0 {
+		clear(rn.ownerEp)
+		rn.stampEp = 1
+	}
+	for i := range jobs {
+		claim := func(v int32) {
+			if rn.ownerEp[v] == rn.stampEp {
+				jobs[i].conflicted = true
+				jobs[rn.owner[v]].conflicted = true
+				return
+			}
+			rn.ownerEp[v] = rn.stampEp
+			rn.owner[v] = int32(i)
+		}
+		for _, v := range jobs[i].ball {
+			claim(v)
+		}
+		for _, v := range jobs[i].halo {
+			claim(v)
+		}
+	}
+	clean := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if !jobs[i].conflicted {
+			rn.stampMarks(&jobs[i])
+			clean = append(clean, i)
+		}
+	}
+
+	// Phase C: clean clusters in parallel.
+	rn.pool.runBatch(len(clean), func(w, k int) {
+		if ctx.Err() != nil {
+			return
+		}
+		rn.processCluster(&jobs[clean[k]], rn.pool.arenas[w])
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase C2: conflicted clusters sequentially, restamped one at a
+	// time so overlapping marks never coexist.
+	for i := range jobs {
+		if !jobs[i].conflicted {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		jobs[i].ep = rn.allocEpochs(1)
+		rn.stampMarks(&jobs[i])
+		rn.processCluster(&jobs[i], rn.pool.arenas[0])
+	}
+
+	// Phase D: deterministic merge in center order.
+	for i := range jobs {
+		rn.mergeJob(&jobs[i])
+	}
+	return nil
 }
 
 func sortInt32(xs []int32) {

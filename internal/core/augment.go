@@ -56,6 +56,11 @@ type Searcher struct {
 	st *forest.State
 	g  *graph.Graph
 
+	// fsc backs this Searcher's path queries against st, so concurrent
+	// Searchers over vertex-disjoint regions of one State do not share
+	// query scratch (the parallel-core contract; see forest.Scratch).
+	fsc *forest.Scratch
+
 	// Per-edge search state, epoch-stamped: edge y is in the current
 	// search iff viaEpoch[y] == epoch, and viaNode[y] then records how
 	// it was reached.
@@ -77,6 +82,7 @@ func NewSearcher(st *forest.State) *Searcher {
 	return &Searcher{
 		st:       st,
 		g:        g,
+		fsc:      forest.NewScratch(g.N()),
 		viaEpoch: make([]uint32, g.M()),
 		viaNode:  make([]searchNode, g.M()),
 		seen:     make([]uint32, g.N()),
@@ -138,11 +144,11 @@ func (s *Searcher) FindAugmenting(palettes [][]int32, start int32,
 			if c == cur {
 				continue
 			}
-			path := st.PathInColor(c, e.U, e.V, withinPath)
+			path := st.PathInColorWith(s.fsc, c, e.U, e.V, withinPath)
 			if path == nil {
 				// Almost augmenting sequence found; backtrack the chain.
 				seq := s.backtrack(x, c)
-				seq = shortCircuit(st, seq, withinPath)
+				seq = shortCircuit(st, s.fsc, seq, withinPath)
 				stats.Visited = visited
 				stats.Length = len(seq)
 				stats.Radius = s.seqRadius(seq)
@@ -200,14 +206,14 @@ func (s *Searcher) backtrack(last, c int32) Sequence {
 
 // shortCircuit enforces condition (A3): while some e_i lies on C(e_j, c_j)
 // with j < i-1, splice out the intermediate steps (Proposition 3.4).
-func shortCircuit(st *forest.State, seq Sequence, withinPath func(int32) bool) Sequence {
+func shortCircuit(st *forest.State, sc *forest.Scratch, seq Sequence, withinPath func(int32) bool) Sequence {
 	g := st.Graph()
 	for changed := true; changed; {
 		changed = false
 	scan:
 		for j := 0; j+2 < len(seq); j++ {
 			e := g.Edge(seq[j].Edge)
-			path := st.PathInColor(seq[j].Color, e.U, e.V, withinPath)
+			path := st.PathInColorWith(sc, seq[j].Color, e.U, e.V, withinPath)
 			onPath := make(map[int32]struct{}, len(path))
 			for _, id := range path {
 				onPath[id] = struct{}{}

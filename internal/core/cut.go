@@ -26,7 +26,7 @@ const (
 // RunCutModDepth exposes the mod-depth CUT rule standalone, for the
 // Figure 3 experiment and for external study of the rule's behaviour.
 func RunCutModDepth(st *forest.State, annulus []int32, inInner func(int32) bool, r int, src *rng.Source) []int32 {
-	return cutModDepth(st, annulus, inInner, r, src)
+	return cutModDepth(st, st.Scratch(), annulus, inInner, r, src)
 }
 
 // RunCutSampled exposes one invocation of the conditioned-sampling CUT
@@ -47,7 +47,7 @@ func RunCutSampled(g *graph.Graph, st *forest.State, annulus []int32, alpha int,
 // monochromatic component of the annulus-induced subgraph has depth at
 // most n = floor((R-2)/2), disconnecting the inner region from vertices
 // beyond the annulus. Removed edges are uncolored in st and returned.
-func cutModDepth(st *forest.State, annulus []int32, inInner func(int32) bool, r int, src *rng.Source) []int32 {
+func cutModDepth(st *forest.State, sc *forest.Scratch, annulus []int32, inInner func(int32) bool, r int, src *rng.Source) []int32 {
 	n := (r - 2) / 2
 	if n < 1 {
 		n = 1
@@ -55,7 +55,7 @@ func cutModDepth(st *forest.State, annulus []int32, inInner func(int32) bool, r 
 	colors := annulusColors(st, annulus)
 	var removed []int32
 	for _, c := range colors {
-		trees := st.RootedTreesInColor(c, annulus, inInner)
+		trees := st.RootedTreesInColorWith(sc, c, annulus, inInner)
 		for _, tr := range trees {
 			j := int32(src.Intn(n))
 			for i, v := range tr.Verts {

@@ -32,6 +32,12 @@ type FDOptions struct {
 	Retries int
 	// RPrime and R override the radii (0 = auto).
 	RPrime, R int
+	// Workers bounds the parallel cluster phase (see Algo2Options.Workers;
+	// results are bit-identical for every setting).
+	Workers int
+	// PhaseNs, when non-nil, receives Algorithm 2 phase timings of the
+	// final attempt (benchmark instrumentation).
+	PhaseNs *Algo2PhaseNs
 }
 
 // FDResult is a complete forest decomposition.
@@ -101,6 +107,8 @@ func forestDecompositionOnce(ctx context.Context, g *graph.Graph, opts FDOptions
 		Seed:     seed,
 		RPrime:   opts.RPrime,
 		R:        opts.R,
+		Workers:  opts.Workers,
+		PhaseNs:  opts.PhaseNs,
 	}, cost)
 	if err != nil {
 		return nil, err

@@ -213,7 +213,7 @@ func TestCutModDepthDisconnects(t *testing.T) {
 	}
 	inInner := func(v int32) bool { return v < 60 }
 	r := 80
-	removed := cutModDepth(st, annulus, inInner, r, rng.New(1))
+	removed := cutModDepth(st, st.Scratch(), annulus, inInner, r, rng.New(1))
 	if len(removed) == 0 {
 		t.Fatal("nothing cut")
 	}

@@ -31,6 +31,9 @@ type LFDOptions struct {
 	Rule CutRule
 	// Retries bounds the number of fresh seeds tried (default 3).
 	Retries int
+	// Workers bounds the parallel cluster phase (see Algo2Options.Workers;
+	// results are bit-identical for every setting).
+	Workers int
 }
 
 // LFDResult is a complete list forest decomposition.
@@ -102,6 +105,7 @@ func listFDOnce(ctx context.Context, g *graph.Graph, opts LFDOptions, seed uint6
 		Eps:      opts.Eps,
 		Rule:     opts.Rule,
 		Seed:     seed + 29,
+		Workers:  opts.Workers,
 	}, cost)
 	if err != nil {
 		return nil, err

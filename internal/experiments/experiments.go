@@ -45,28 +45,36 @@ func (c Config) scale() int {
 type Runner struct {
 	Name string
 	Desc string
+	// Tier groups experiments for selective running: "" (the fast tier,
+	// every PR) or "big" (large workloads, run by the CI big-bench job and
+	// `nwbench -tier big`). Scale-1 runs of every tier stay test-sized —
+	// TestAllExperimentsRun executes them all.
+	Tier string
 	Run  func(Config) (*Table, error)
 }
 
 // Registry lists all experiments in presentation order.
 var Registry = []Runner{
-	{"table1", "Table 1: (1+eps)a-FD algorithm matrix (colors, rounds, diameter)", Table1},
-	{"fig1", "Figure 1 / Theorem 3.2: augmenting sequence lengths and radii", Figure1},
-	{"fig2", "Figure 2 / Proposition 3.3: growth of the explored edge set", Figure2},
-	{"fig3", "Figure 3 / Theorem 4.2: CUT goodness and leftover load", Figure3},
-	{"hpartition", "Theorem 2.1: H-partition and its corollaries", Theorem21},
-	{"lsfd", "Theorem 2.3: (4+eps)a*-list-star-forest decomposition", Theorem23},
-	{"split", "Theorem 4.9: vertex-color-splitting palette sizes", Theorem49},
-	{"lfd", "Theorem 4.10: (1+eps)a-list-forest decomposition", Theorem410},
-	{"sfd", "Theorem 5.4: (1+eps)a-star-forest decomposition", Theorem54},
-	{"orient", "Corollary 1.1: (1+eps)a-orientation, rounds linear in 1/eps", Corollary11},
-	{"stararb", "Corollary 1.2: star-arboricity bounds across graph families", Corollary12},
-	{"lowerbound", "Proposition C.1: Omega(1/eps) diameter on the line multigraph", PropC1},
-	{"baseline", "Barenboim-Elkin baseline: (2+eps)a-FD rounds scaling", BaselineBE},
-	{"exact", "Gabow-Westermann exact arboricity ground truth", ExactGW},
-	{"decompose", "End-to-end decomposition hot path (rounds, msgs, traffic)", DecomposeE2E},
-	{"dynamic", "Dynamic churn: incremental maintenance vs per-mutation rebuild", DynamicChurn},
-	{"dispatch", "Registry dispatch prologue: 0 allocs per nwforest.Run request", DispatchOverhead},
+	{"table1", "Table 1: (1+eps)a-FD algorithm matrix (colors, rounds, diameter)", "", Table1},
+	{"fig1", "Figure 1 / Theorem 3.2: augmenting sequence lengths and radii", "", Figure1},
+	{"fig2", "Figure 2 / Proposition 3.3: growth of the explored edge set", "", Figure2},
+	{"fig3", "Figure 3 / Theorem 4.2: CUT goodness and leftover load", "", Figure3},
+	{"hpartition", "Theorem 2.1: H-partition and its corollaries", "", Theorem21},
+	{"lsfd", "Theorem 2.3: (4+eps)a*-list-star-forest decomposition", "", Theorem23},
+	{"split", "Theorem 4.9: vertex-color-splitting palette sizes", "", Theorem49},
+	{"lfd", "Theorem 4.10: (1+eps)a-list-forest decomposition", "", Theorem410},
+	{"sfd", "Theorem 5.4: (1+eps)a-star-forest decomposition", "", Theorem54},
+	{"orient", "Corollary 1.1: (1+eps)a-orientation, rounds linear in 1/eps", "", Corollary11},
+	{"stararb", "Corollary 1.2: star-arboricity bounds across graph families", "", Corollary12},
+	{"lowerbound", "Proposition C.1: Omega(1/eps) diameter on the line multigraph", "", PropC1},
+	{"baseline", "Barenboim-Elkin baseline: (2+eps)a-FD rounds scaling", "", BaselineBE},
+	{"exact", "Gabow-Westermann exact arboricity ground truth", "", ExactGW},
+	{"decompose", "End-to-end decomposition hot path (rounds, msgs, traffic)", "", DecomposeE2E},
+	{"dynamic", "Dynamic churn: incremental maintenance vs per-mutation rebuild", "", DynamicChurn},
+	{"dispatch", "Registry dispatch prologue: 0 allocs per nwforest.Run request", "", DispatchOverhead},
+	{"bigroad", "Big tier: road network, parallel vs sequential cluster phase", "big", BigRoad},
+	{"bigsocial", "Big tier: preferential-attachment graph, worker-count invariance", "big", BigSocial},
+	{"bigingest", "Big tier: DIMACS/METIS reader throughput on generated workloads", "big", BigIngest},
 }
 
 // Find returns the runner with the given name, or nil.

@@ -1,0 +1,192 @@
+package forest
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"nwforest/internal/graph"
+	"nwforest/internal/rng"
+	"nwforest/internal/verify"
+)
+
+// randomGraph builds a small multigraph deterministically.
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	src := rng.New(seed)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := int32(src.Intn(n))
+		v := int32(src.Intn(n))
+		if u != v {
+			edges = append(edges, graph.E(u, v))
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// mutate applies one deterministic pseudo-random SetColor to both states.
+func mutate(src *rng.Source, k int, states ...*State) {
+	g := states[0].Graph()
+	id := int32(src.Intn(g.M()))
+	c := int32(src.Intn(k + 1))
+	if int(c) == k {
+		c = verify.Uncolored
+	}
+	for _, s := range states {
+		s.SetColor(id, c)
+	}
+}
+
+// requireEquivalent compares every observable of the two representations
+// (modulo ColorsAt order, which is unspecified).
+func requireEquivalent(t *testing.T, a, b *State, k int) {
+	t.Helper()
+	g := a.Graph()
+	if !reflect.DeepEqual(a.Colors(), b.Colors()) {
+		t.Fatal("colors diverged between representations")
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		for c := int32(0); c < int32(k); c++ {
+			la, lb := a.IncidentInColor(v, c), b.IncidentInColor(v, c)
+			if len(la) != len(lb) {
+				t.Fatalf("IncidentInColor(%d,%d): %v vs %v", v, c, la, lb)
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					// Order must match exactly: traversal order feeds
+					// the augmenting search, so it is contractual.
+					t.Fatalf("IncidentInColor(%d,%d) order: %v vs %v", v, c, la, lb)
+				}
+			}
+			if a.DegreeInColor(v, c) != b.DegreeInColor(v, c) {
+				t.Fatalf("DegreeInColor(%d,%d) diverged", v, c)
+			}
+		}
+		ca, cb := a.ColorsAt(v), b.ColorsAt(v)
+		if len(ca) != len(cb) {
+			t.Fatalf("ColorsAt(%d): %v vs %v", v, ca, cb)
+		}
+		seen := map[int32]bool{}
+		for _, c := range ca {
+			seen[c] = true
+		}
+		for _, c := range cb {
+			if !seen[c] {
+				t.Fatalf("ColorsAt(%d): %v vs %v", v, ca, cb)
+			}
+		}
+	}
+}
+
+func TestRepEquivalenceRandomOps(t *testing.T) {
+	g := randomGraph(60, 180, 11)
+	compact := newState(g, true)
+	legacy := newState(g, false)
+	if !compact.Compact() || legacy.Compact() {
+		t.Fatal("newState did not honor the representation request")
+	}
+	const k = 5
+	src := rng.New(99)
+	region := make([]int32, 0, g.N())
+	for step := 0; step < 400; step++ {
+		mutate(src, k, compact, legacy)
+		if step%20 != 19 {
+			continue
+		}
+		requireEquivalent(t, compact, legacy, k)
+		// Query cross-checks, including exact result order.
+		for q := 0; q < 30; q++ {
+			c := int32(src.Intn(k))
+			u := int32(src.Intn(g.N()))
+			v := int32(src.Intn(g.N()))
+			pa := compact.PathInColor(c, u, v, nil)
+			pb := legacy.PathInColor(c, u, v, nil)
+			if !reflect.DeepEqual(pa, pb) {
+				t.Fatalf("PathInColor(%d,%d,%d): %v vs %v", c, u, v, pa, pb)
+			}
+			if compact.ConnectedInColor(c, u, v, nil) != legacy.ConnectedInColor(c, u, v, nil) {
+				t.Fatalf("ConnectedInColor(%d,%d,%d) diverged", c, u, v)
+			}
+			if !reflect.DeepEqual(compact.ComponentInColor(c, v), legacy.ComponentInColor(c, v)) {
+				t.Fatalf("ComponentInColor(%d,%d) diverged", c, v)
+			}
+		}
+		region = region[:0]
+		for v := int32(0); int(v) < g.N(); v += 2 {
+			region = append(region, v)
+		}
+		c := int32(src.Intn(k))
+		pref := func(v int32) bool { return v%4 == 0 }
+		ta := compact.RootedTreesInColor(c, region, pref)
+		tb := legacy.RootedTreesInColor(c, region, pref)
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("RootedTreesInColor(%d) diverged", c)
+		}
+	}
+}
+
+func TestFromColorsBulkMatchesIncremental(t *testing.T) {
+	g := randomGraph(80, 240, 21)
+	src := rng.New(31)
+	colors := make([]int32, g.M())
+	for i := range colors {
+		colors[i] = int32(src.Intn(6)) - 1 // -1 == verify.Uncolored
+	}
+	bulk := FromColors(g, colors)
+	inc := newState(g, bulk.Compact())
+	for id, c := range colors {
+		if c != verify.Uncolored {
+			inc.SetColor(int32(id), c)
+		}
+	}
+	requireEquivalent(t, bulk, inc, 6)
+}
+
+func TestUseCompactSelection(t *testing.T) {
+	g := randomGraph(10, 20, 3)
+	want := !forceMapRep // 2*20 arcs always fits int32
+	if UseCompact(g) != want {
+		t.Fatalf("UseCompact = %v, want %v (forceMapRep=%v)", UseCompact(g), want, forceMapRep)
+	}
+	if New(g).Compact() != want {
+		t.Fatal("New did not follow UseCompact")
+	}
+}
+
+// TestConcurrentReadersWithScratches drives the concurrency contract the
+// parallel decomposition core relies on: read-only queries over one
+// State from many goroutines, each with its own Scratch, agree with the
+// sequential answers (the race detector checks safety).
+func TestConcurrentReadersWithScratches(t *testing.T) {
+	g := randomGraph(120, 360, 41)
+	st := New(g)
+	src := rng.New(77)
+	for i := 0; i < 300; i++ {
+		mutate(src, 4, st)
+	}
+	type query struct{ c, u, v int32 }
+	queries := make([]query, 200)
+	want := make([][]int32, len(queries))
+	for i := range queries {
+		q := query{int32(src.Intn(4)), int32(src.Intn(g.N())), int32(src.Intn(g.N()))}
+		queries[i] = q
+		want[i] = st.PathInColor(q.c, q.u, q.v, nil)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := NewScratch(g.N())
+			for i := w; i < len(queries); i += 4 {
+				q := queries[i]
+				got := st.PathInColorWith(sc, q.c, q.u, q.v, nil)
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("query %d diverged under concurrency", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

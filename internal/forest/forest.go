@@ -11,69 +11,91 @@ import (
 
 // State is a partial edge coloring of a graph with per-color adjacency.
 //
-// The query methods (PathInColor, ConnectedInColor, ComponentInColor,
-// RootedTreesInColor) share epoch-stamped scratch buffers, so a State is
-// not safe for concurrent use, and a `within`/`rootPref` callback must
-// not call back into query methods of the same State — a nested query
-// would restamp the scratch out from under the outer one. Callbacks
-// that only read Color/DegreeInColor or caller-owned state are fine
-// (every callback in this module is of that form).
+// Two incidence representations exist behind one API. The compact
+// representation stores per-vertex slices of (color, edge-id) slots —
+// int32 throughout, arena-backed on bulk construction — and is selected
+// automatically for graphs whose arc count fits int32 (2M < 2^31, i.e.
+// every graph this module can currently index). The map representation
+// (one map[color][]edge per vertex) is the original reference
+// implementation; the `forestmap` build tag forces it so CI can
+// cross-check the two. Both keep each (vertex, color) edge list in
+// exactly the same order (append on color, swap-delete on erase), so
+// every query — and therefore every decomposition built on the queries —
+// is bit-identical across representations. Only ColorsAt's order
+// differs (map iteration order is randomized); callers must not rely
+// on it.
+//
+// Concurrency: the convenience query methods share the State's built-in
+// Scratch, so a State is not safe for concurrent use in general. The
+// ...With variants take an explicit Scratch; callers that partition the
+// graph into vertex-disjoint regions (Algorithm 2's same-class clusters)
+// may run queries — and SetColor on edges whose endpoints stay inside
+// their own region — concurrently, one Scratch per goroutine.
 type State struct {
 	g      *graph.Graph
 	colors []int32
-	// adj[v] maps a color to the IDs of edges of that color incident to v.
-	adj []map[int32][]int32
+	// Exactly one of adjMap/adjC is non-nil; see the type comment.
+	adjMap []map[int32][]int32
+	adjC   [][]colorSlot
 
-	// BFS scratch reused across every path/component/tree query, sized
-	// to N once at construction. mark[v] == epoch iff v is visited by
-	// the query in progress; bumping epoch invalidates all marks in
-	// O(1), so the queries themselves allocate only their results. The
-	// augmenting-sequence search calls PathInColor once per (edge,
-	// color) probe — with per-call maps this scratch was ~95% of the
-	// end-to-end decomposition's allocated bytes.
-	mark       []uint32
-	regionMark []uint32
-	parentEdge []int32
-	queue      []int32
-	epoch      uint32
+	sc *Scratch
+}
+
+// colorSlot is one color's incidence list at a vertex, in the compact
+// representation. The number of distinct colors at a vertex is at most
+// min(degree, palette size), so a linear scan over slots beats a map
+// lookup at decomposition palette sizes.
+type colorSlot struct {
+	c   int32
+	ids []int32
+}
+
+// UseCompact reports whether New(g) selects the compact representation:
+// the graph's arc count must fit int32 and the forestmap build tag must
+// be absent.
+func UseCompact(g *graph.Graph) bool {
+	return !forceMapRep && 2*int64(g.M()) < int64(1)<<31
 }
 
 // New returns an all-uncolored state over g.
 func New(g *graph.Graph) *State {
+	return newState(g, UseCompact(g))
+}
+
+func newState(g *graph.Graph, compact bool) *State {
 	s := &State{
-		g:          g,
-		colors:     make([]int32, g.M()),
-		adj:        make([]map[int32][]int32, g.N()),
-		mark:       make([]uint32, g.N()),
-		regionMark: make([]uint32, g.N()),
-		parentEdge: make([]int32, g.N()),
+		g:      g,
+		colors: make([]int32, g.M()),
+		sc:     NewScratch(g.N()),
 	}
 	for i := range s.colors {
 		s.colors[i] = verify.Uncolored
 	}
-	for v := range s.adj {
-		s.adj[v] = make(map[int32][]int32)
+	if compact {
+		s.adjC = make([][]colorSlot, g.N())
+	} else {
+		s.adjMap = make([]map[int32][]int32, g.N())
+		for v := range s.adjMap {
+			s.adjMap[v] = make(map[int32][]int32)
+		}
 	}
 	return s
 }
 
-// nextEpoch starts a new scratch lifetime: every previous mark becomes
-// stale. On uint32 wraparound the mark arrays are rewritten once so no
-// ancient stamp can collide with a live epoch.
-func (s *State) nextEpoch() uint32 {
-	s.epoch++
-	if s.epoch == 0 {
-		clear(s.mark)
-		clear(s.regionMark)
-		s.epoch = 1
-	}
-	return s.epoch
-}
+// Compact reports which representation this State uses.
+func (s *State) Compact() bool { return s.adjC != nil }
 
-// FromColors returns a state initialized with the given coloring
-// (which is copied).
+// FromColors returns a state initialized with the given coloring (which
+// is copied). On the compact representation the incidence index is built
+// in bulk from two arena allocations instead of one append chain per
+// SetColor, which matters to callers that rebuild a State per repair
+// (the dynamic maintenance ladder).
 func FromColors(g *graph.Graph, colors []int32) *State {
 	s := New(g)
+	if s.adjC != nil {
+		s.bulkLoad(colors)
+		return s
+	}
 	for id, c := range colors {
 		if c != verify.Uncolored {
 			s.SetColor(int32(id), c)
@@ -82,8 +104,100 @@ func FromColors(g *graph.Graph, colors []int32) *State {
 	return s
 }
 
+// bulkLoad builds the compact incidence index for the given coloring.
+// The resulting per-(vertex, color) lists are identical — same contents,
+// same order — to those an id-ascending SetColor loop would build:
+// slots appear in first-occurrence order, ids ascend within a slot.
+func (s *State) bulkLoad(colors []int32) {
+	g := s.g
+	n := g.N()
+	// Pass 1: colored incidences per vertex.
+	deg := make([]int32, n)
+	total := 0
+	for id, c := range colors {
+		if c == verify.Uncolored {
+			continue
+		}
+		e := g.Edge(int32(id))
+		deg[e.U]++
+		deg[e.V]++
+		total += 2
+		s.colors[id] = c
+	}
+	if total == 0 {
+		return
+	}
+	// Pass 2: per-vertex colored incident edges, id-ascending, carved
+	// from one arena.
+	regionArena := make([]int32, total)
+	regions := make([][]int32, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		regions[v] = regionArena[off : off : off+int(deg[v])]
+		off += int(deg[v])
+	}
+	for id, c := range colors {
+		if c == verify.Uncolored {
+			continue
+		}
+		e := g.Edge(int32(id))
+		regions[e.U] = append(regions[e.U], int32(id))
+		regions[e.V] = append(regions[e.V], int32(id))
+	}
+	// Pass 3: per vertex, discover its slots (first-occurrence color
+	// order) with per-slot counts, carve each slot's ids exactly from
+	// the shared arena, then fill. slotArena grows once past its
+	// estimate at most; ids never reallocate.
+	slotArena := make([]colorSlot, 0, n)
+	var cnts []int32
+	idsArena := make([]int32, total)
+	idsOff := 0
+	for v := 0; v < n; v++ {
+		if len(regions[v]) == 0 {
+			continue
+		}
+		start := len(slotArena)
+		cnts = cnts[:0]
+		for _, id := range regions[v] {
+			c := colors[id]
+			found := -1
+			for i := start; i < len(slotArena); i++ {
+				if slotArena[i].c == c {
+					found = i - start
+					break
+				}
+			}
+			if found < 0 {
+				slotArena = append(slotArena, colorSlot{c: c})
+				cnts = append(cnts, 0)
+				found = len(cnts) - 1
+			}
+			cnts[found]++
+		}
+		for i, cnt := range cnts {
+			slotArena[start+i].ids = idsArena[idsOff : idsOff : idsOff+int(cnt)]
+			idsOff += int(cnt)
+		}
+		for _, id := range regions[v] {
+			c := colors[id]
+			for i := start; i < len(slotArena); i++ {
+				if slotArena[i].c == c {
+					slotArena[i].ids = append(slotArena[i].ids, id)
+					break
+				}
+			}
+		}
+		s.adjC[v] = slotArena[start:len(slotArena):len(slotArena)]
+	}
+}
+
 // Graph returns the underlying graph.
 func (s *State) Graph() *graph.Graph { return s.g }
+
+// Scratch returns the State's built-in query scratch (the one the
+// convenience methods use). Concurrent readers must use their own
+// NewScratch instead.
+func (s *State) Scratch() *Scratch { return s.sc }
 
 // Color returns the color of edge id (verify.Uncolored if none).
 func (s *State) Color(id int32) int32 { return s.colors[id] }
@@ -109,13 +223,54 @@ func (s *State) SetColor(id, c int32) {
 	}
 	s.colors[id] = c
 	if c != verify.Uncolored {
-		s.adj[e.U][c] = append(s.adj[e.U][c], id)
-		s.adj[e.V][c] = append(s.adj[e.V][c], id)
+		s.addIncidence(e.U, c, id)
+		s.addIncidence(e.V, c, id)
 	}
 }
 
+func (s *State) addIncidence(v, c, id int32) {
+	if s.adjC != nil {
+		slots := s.adjC[v]
+		for i := range slots {
+			if slots[i].c == c {
+				slots[i].ids = append(slots[i].ids, id)
+				return
+			}
+		}
+		s.adjC[v] = append(slots, colorSlot{c: c, ids: append(make([]int32, 0, 2), id)})
+		return
+	}
+	s.adjMap[v][c] = append(s.adjMap[v][c], id)
+}
+
 func (s *State) removeIncidence(v, c, id int32) {
-	lst := s.adj[v][c]
+	if s.adjC != nil {
+		slots := s.adjC[v]
+		for i := range slots {
+			if slots[i].c != c {
+				continue
+			}
+			ids := slots[i].ids
+			for j, x := range ids {
+				if x == id {
+					ids[j] = ids[len(ids)-1]
+					ids = ids[:len(ids)-1]
+					break
+				}
+			}
+			if len(ids) == 0 {
+				last := len(slots) - 1
+				slots[i] = slots[last]
+				slots[last] = colorSlot{} // release the ids backing array
+				s.adjC[v] = slots[:last]
+			} else {
+				slots[i].ids = ids
+			}
+			return
+		}
+		return
+	}
+	lst := s.adjMap[v][c]
 	for i, x := range lst {
 		if x == id {
 			lst[i] = lst[len(lst)-1]
@@ -124,23 +279,44 @@ func (s *State) removeIncidence(v, c, id int32) {
 		}
 	}
 	if len(lst) == 0 {
-		delete(s.adj[v], c)
+		delete(s.adjMap[v], c)
 	} else {
-		s.adj[v][c] = lst
+		s.adjMap[v][c] = lst
 	}
+}
+
+// incident returns the (vertex, color) edge list without copying.
+func (s *State) incident(v, c int32) []int32 {
+	if s.adjC != nil {
+		for i := range s.adjC[v] {
+			if s.adjC[v][i].c == c {
+				return s.adjC[v][i].ids
+			}
+		}
+		return nil
+	}
+	return s.adjMap[v][c]
 }
 
 // IncidentInColor returns the IDs of c-colored edges incident to v.
 // Callers must not modify the returned slice.
-func (s *State) IncidentInColor(v, c int32) []int32 { return s.adj[v][c] }
+func (s *State) IncidentInColor(v, c int32) []int32 { return s.incident(v, c) }
 
 // DegreeInColor returns the number of c-colored edges at v.
-func (s *State) DegreeInColor(v, c int32) int { return len(s.adj[v][c]) }
+func (s *State) DegreeInColor(v, c int32) int { return len(s.incident(v, c)) }
 
-// ColorsAt returns the set of colors present at v.
+// ColorsAt returns the set of colors present at v, in unspecified order.
 func (s *State) ColorsAt(v int32) []int32 {
-	out := make([]int32, 0, len(s.adj[v]))
-	for c := range s.adj[v] {
+	if s.adjC != nil {
+		slots := s.adjC[v]
+		out := make([]int32, 0, len(slots))
+		for i := range slots {
+			out = append(out, slots[i].c)
+		}
+		return out
+	}
+	out := make([]int32, 0, len(s.adjMap[v]))
+	for c := range s.adjMap[v] {
 		out = append(out, c)
 	}
 	return out
@@ -152,17 +328,22 @@ func (s *State) ColorsAt(v int32) []int32 {
 // (u and v themselves are always allowed); a path escaping the region is
 // treated as disconnection. This is the paper's C(e, c) primitive.
 func (s *State) PathInColor(c, u, v int32, within func(int32) bool) []int32 {
+	return s.PathInColorWith(s.sc, c, u, v, within)
+}
+
+// PathInColorWith is PathInColor on a caller-owned Scratch.
+func (s *State) PathInColorWith(sc *Scratch, c, u, v int32, within func(int32) bool) []int32 {
 	if u == v {
 		return []int32{}
 	}
-	if !s.search(c, u, v, within) {
+	if !s.search(sc, c, u, v, within) {
 		return nil
 	}
 	// Rebuild the path from the parent-edge stamps; only the result
 	// itself is allocated.
 	var path []int32
 	for cur := v; cur != u; {
-		pe := s.parentEdge[cur]
+		pe := sc.parentEdge[cur]
 		path = append(path, pe)
 		cur = s.g.Edge(pe).Other(cur)
 	}
@@ -171,25 +352,26 @@ func (s *State) PathInColor(c, u, v int32, within func(int32) bool) []int32 {
 
 // search runs the monochromatic BFS from u, stamping parentEdge, and
 // reports whether v was reached. It allocates nothing beyond growing the
-// shared queue to the largest component seen so far.
-func (s *State) search(c, u, v int32, within func(int32) bool) bool {
-	ep := s.nextEpoch()
-	s.mark[u] = ep
-	s.queue = append(s.queue[:0], u)
-	for head := 0; head < len(s.queue); head++ {
-		x := s.queue[head]
-		for _, id := range s.adj[x][c] {
+// scratch queue to the largest component seen so far.
+func (s *State) search(sc *Scratch, c, u, v int32, within func(int32) bool) bool {
+	sc.grow(s.g.N())
+	ep := sc.next()
+	sc.mark[u] = ep
+	sc.queue = append(sc.queue[:0], u)
+	for head := 0; head < len(sc.queue); head++ {
+		x := sc.queue[head]
+		for _, id := range s.incident(x, c) {
 			y := s.g.Edge(id).Other(x)
-			if s.mark[y] == ep {
+			if sc.mark[y] == ep {
 				continue
 			}
-			s.mark[y] = ep
-			s.parentEdge[y] = id
+			sc.mark[y] = ep
+			sc.parentEdge[y] = id
 			if y == v {
 				return true
 			}
 			if within == nil || within(y) {
-				s.queue = append(s.queue, y)
+				sc.queue = append(sc.queue, y)
 			}
 		}
 	}
@@ -200,24 +382,35 @@ func (s *State) search(c, u, v int32, within func(int32) bool) bool {
 // searching only within the given region (nil = everywhere). Unlike
 // PathInColor it does not materialize the path, so it is allocation-free.
 func (s *State) ConnectedInColor(c, u, v int32, within func(int32) bool) bool {
+	return s.ConnectedInColorWith(s.sc, c, u, v, within)
+}
+
+// ConnectedInColorWith is ConnectedInColor on a caller-owned Scratch.
+func (s *State) ConnectedInColorWith(sc *Scratch, c, u, v int32, within func(int32) bool) bool {
 	if u == v {
 		return true
 	}
-	return s.search(c, u, v, within)
+	return s.search(sc, c, u, v, within)
 }
 
 // ComponentInColor returns the vertices of the c-colored component
 // containing v (including v even if isolated in c).
 func (s *State) ComponentInColor(c, v int32) []int32 {
-	ep := s.nextEpoch()
-	s.mark[v] = ep
+	return s.ComponentInColorWith(s.sc, c, v)
+}
+
+// ComponentInColorWith is ComponentInColor on a caller-owned Scratch.
+func (s *State) ComponentInColorWith(sc *Scratch, c, v int32) []int32 {
+	sc.grow(s.g.N())
+	ep := sc.next()
+	sc.mark[v] = ep
 	out := []int32{v}
 	for head := 0; head < len(out); head++ {
 		x := out[head]
-		for _, id := range s.adj[x][c] {
+		for _, id := range s.incident(x, c) {
 			y := s.g.Edge(id).Other(x)
-			if s.mark[y] != ep {
-				s.mark[y] = ep
+			if sc.mark[y] != ep {
+				sc.mark[y] = ep
 				out = append(out, y)
 			}
 		}
@@ -240,34 +433,40 @@ type Rooted struct {
 // first such vertex (in region order) becomes the root; otherwise the
 // first-encountered vertex does. Vertices outside region are ignored.
 func (s *State) RootedTreesInColor(c int32, region []int32, rootPref func(int32) bool) []Rooted {
+	return s.RootedTreesInColorWith(s.sc, c, region, rootPref)
+}
+
+// RootedTreesInColorWith is RootedTreesInColor on a caller-owned Scratch.
+func (s *State) RootedTreesInColorWith(sc *Scratch, c int32, region []int32, rootPref func(int32) bool) []Rooted {
 	// One epoch stamps both scratch arrays: regionMark gates membership,
 	// mark tracks visitation. The per-call maps this replaces dominated
 	// the CUT procedures' allocation profile.
-	ep := s.nextEpoch()
+	sc.grow(s.g.N())
+	ep := sc.next()
 	for _, v := range region {
-		s.regionMark[v] = ep
+		sc.regionMark[v] = ep
 	}
 	var trees []Rooted
 	// Two passes so preferred roots win: first start trees from preferred
 	// vertices, then from anything left.
 	for pass := 0; pass < 2; pass++ {
 		for _, v := range region {
-			if s.mark[v] == ep || s.DegreeInColor(v, c) == 0 {
+			if sc.mark[v] == ep || s.DegreeInColor(v, c) == 0 {
 				continue
 			}
 			if pass == 0 && (rootPref == nil || !rootPref(v)) {
 				continue
 			}
 			tr := Rooted{Verts: []int32{v}, Parent: []int32{-1}, Depth: []int32{0}}
-			s.mark[v] = ep
+			sc.mark[v] = ep
 			for head := 0; head < len(tr.Verts); head++ {
 				x := tr.Verts[head]
-				for _, id := range s.adj[x][c] {
+				for _, id := range s.incident(x, c) {
 					y := s.g.Edge(id).Other(x)
-					if s.mark[y] == ep || s.regionMark[y] != ep {
+					if sc.mark[y] == ep || sc.regionMark[y] != ep {
 						continue
 					}
-					s.mark[y] = ep
+					sc.mark[y] = ep
 					tr.Verts = append(tr.Verts, y)
 					tr.Parent = append(tr.Parent, id)
 					tr.Depth = append(tr.Depth, tr.Depth[head]+1)

@@ -1,0 +1,9 @@
+//go:build !forestmap
+
+package forest
+
+// forceMapRep selects the incidence representation: the default build
+// auto-selects the compact int32 representation for graphs whose arc
+// count fits int32; building with -tags forestmap forces the reference
+// map representation everywhere (CI cross-checks the two).
+const forceMapRep = false

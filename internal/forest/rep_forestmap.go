@@ -1,0 +1,8 @@
+//go:build forestmap
+
+package forest
+
+// forceMapRep under -tags forestmap: every State uses the reference
+// map[int32][]int32 incidence representation, so tests compiled with
+// this tag exercise the legacy code path end to end.
+const forceMapRep = true

@@ -1,0 +1,62 @@
+package forest
+
+// Scratch holds the epoch-stamped buffers behind the State query methods
+// (PathInColorWith, ConnectedInColorWith, ComponentInColorWith,
+// RootedTreesInColorWith). A State carries one built-in Scratch for the
+// convenience methods; concurrent readers bring their own so that
+// queries over disjoint regions of one State can run in parallel (the
+// parallel per-cluster phase of Algorithm 2 gives each worker its own
+// Scratch).
+//
+// A Scratch must not be shared between concurrent queries, and a
+// `within`/`rootPref` callback must not call back into query methods
+// using the same Scratch — a nested query would restamp the buffers out
+// from under the outer one. Callbacks that only read Color/DegreeInColor
+// or caller-owned state are fine (every callback in this module is of
+// that form).
+type Scratch struct {
+	// mark[v] == epoch iff v is visited by the query in progress;
+	// bumping epoch invalidates all marks in O(1), so the queries
+	// themselves allocate only their results. The augmenting-sequence
+	// search calls PathInColor once per (edge, color) probe — with
+	// per-call maps this scratch was ~95% of the end-to-end
+	// decomposition's allocated bytes.
+	mark       []uint32
+	regionMark []uint32
+	parentEdge []int32
+	queue      []int32
+	epoch      uint32
+}
+
+// NewScratch returns a Scratch for graphs of up to n vertices. It grows
+// on demand if later used with a larger State.
+func NewScratch(n int) *Scratch {
+	sc := &Scratch{}
+	sc.grow(n)
+	return sc
+}
+
+// grow ensures capacity for n vertices, preserving nothing (the epoch
+// restarts, so stale marks are harmless).
+func (sc *Scratch) grow(n int) {
+	if cap(sc.mark) >= n {
+		return
+	}
+	sc.mark = make([]uint32, n)
+	sc.regionMark = make([]uint32, n)
+	sc.parentEdge = make([]int32, n)
+	sc.epoch = 0
+}
+
+// next starts a new scratch lifetime: every previous mark becomes
+// stale. On uint32 wraparound the mark arrays are rewritten once so no
+// ancient stamp can collide with a live epoch.
+func (sc *Scratch) next() uint32 {
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.mark)
+		clear(sc.regionMark)
+		sc.epoch = 1
+	}
+	return sc.epoch
+}

@@ -153,6 +153,42 @@ func Grid(w, h int) *graph.Graph {
 	return graph.MustNew(w*h, edges)
 }
 
+// RoadNetwork returns a synthetic road network on a rows x cols lattice:
+// the grid's streets with ~15% of segments removed (dead ends, rivers,
+// parks) plus sparse diagonal avenues (~2% of cells). The result has the
+// shape of real road graphs — near-planar, average degree < 4, diameter
+// Theta(rows+cols) — so netdecomp at small radii produces MANY clusters
+// per class, which is the workload the parallel cluster phase is built
+// for. Arboricity is 2 or 3 (planar minus removals, plus rare diagonal
+// crossings).
+func RoadNetwork(rows, cols int, seed uint64) *graph.Graph {
+	at := func(x, y int) int32 { return int32(y*cols + x) }
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, 2*rows*cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if x+1 < cols && !r.Bernoulli(0.15) {
+				edges = append(edges, graph.Edge{U: at(x, y), V: at(x+1, y)})
+			}
+			if y+1 < rows && !r.Bernoulli(0.15) {
+				edges = append(edges, graph.Edge{U: at(x, y), V: at(x, y+1)})
+			}
+		}
+	}
+	for y := 0; y+1 < rows; y++ {
+		for x := 0; x+1 < cols; x++ {
+			if r.Bernoulli(0.02) {
+				if r.Intn(2) == 0 {
+					edges = append(edges, graph.Edge{U: at(x, y), V: at(x+1, y+1)})
+				} else {
+					edges = append(edges, graph.Edge{U: at(x+1, y), V: at(x, y+1)})
+				}
+			}
+		}
+	}
+	return graph.MustNew(rows*cols, edges)
+}
+
 // Gnm returns a uniform simple graph with n vertices and m distinct edges.
 // It panics if m exceeds the number of vertex pairs.
 func Gnm(n, m int, seed uint64) *graph.Graph {

@@ -187,6 +187,32 @@ func TestRandomRegular(t *testing.T) {
 	}
 }
 
+func TestRoadNetwork(t *testing.T) {
+	g := RoadNetwork(40, 50, 7)
+	if g.N() != 40*50 {
+		t.Fatalf("road n = %d, want 2000", g.N())
+	}
+	// Full grid would have 39*50 + 40*49 = 3910 street segments; ~15% are
+	// removed and ~2% of the 39*49 cells gain a diagonal. Allow wide slack
+	// around the expectation (~3360) — the point is the shape, not the count.
+	if g.M() < 3000 || g.M() > 3700 {
+		t.Fatalf("road m = %d, outside the plausible range", g.M())
+	}
+	if g.MaxDegree() > 6 {
+		t.Fatalf("road max degree = %d, want <= 6", g.MaxDegree())
+	}
+	a := RoadNetwork(10, 10, 3)
+	b := RoadNetwork(10, 10, 3)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different road networks")
+	}
+	for id := range a.Edges() {
+		if a.Edge(int32(id)) != b.Edge(int32(id)) {
+			t.Fatal("same seed produced different road networks")
+		}
+	}
+}
+
 func TestMultiplyEdges(t *testing.T) {
 	g := MultiplyEdges(Grid(3, 3), 4)
 	if g.M() != 12*4 {

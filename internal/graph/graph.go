@@ -258,6 +258,58 @@ func (g *Graph) BFSWith(s *BFSScratch, sources []int32, maxDist int, visit func(
 	s.queue = queue
 }
 
+// BFSEpochScratch backs BFSEpochWith: an epoch-stamped seen array
+// replaces BFSWith's O(n) distance reset, so a search costs only the
+// vertices it reaches. Use it when one caller runs many small BFS over
+// the same large graph (the per-cluster ball computations of Algorithm
+// 2). A scratch must not be shared between concurrent searches.
+type BFSEpochScratch struct {
+	seen  []uint32
+	dist  []int32
+	queue []int32
+	epoch uint32
+}
+
+// BFSEpochWith is BFSWith on epoch-stamped scratch: identical visit
+// order and semantics, but per-call cost proportional to the reached
+// set instead of the whole graph.
+func (g *Graph) BFSEpochWith(s *BFSEpochScratch, sources []int32, maxDist int, visit func(v int32, dist int)) {
+	if cap(s.seen) < g.n {
+		s.seen = make([]uint32, g.n)
+		s.dist = make([]int32, g.n)
+	}
+	seen, dist := s.seen[:g.n], s.dist[:g.n]
+	s.epoch++
+	if s.epoch == 0 { // wrapped: restamp so stale marks cannot collide
+		clear(seen)
+		s.epoch = 1
+	}
+	ep := s.epoch
+	queue := s.queue[:0]
+	for _, src := range sources {
+		if seen[src] != ep {
+			seen[src] = ep
+			dist[src] = 0
+			queue = append(queue, src)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		visit(v, int(dist[v]))
+		if maxDist >= 0 && int(dist[v]) >= maxDist {
+			continue
+		}
+		for _, a := range g.Adj(v) {
+			if seen[a.To] != ep {
+				seen[a.To] = ep
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	s.queue = queue
+}
+
 // Ball returns the set of vertices within distance r of any source,
 // including the sources, as a sorted-by-discovery slice.
 func (g *Graph) Ball(sources []int32, r int) []int32 {

@@ -297,3 +297,31 @@ func TestBFSVisitsEachVertexOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBFSEpochMatchesBFSWith checks the epoch-stamped BFS visits the
+// same (vertex, dist) sequence as the reset-per-call BFS, across many
+// reuses of one scratch (including epoch turnover).
+func TestBFSEpochMatchesBFSWith(t *testing.T) {
+	g := path(30)
+	var es BFSEpochScratch
+	var ws BFSScratch
+	for trial := 0; trial < 50; trial++ {
+		src := []int32{int32(trial % 30), int32((7 * trial) % 30)}
+		maxD := trial%7 - 1 // includes -1 (unbounded)
+		type vd struct {
+			v int32
+			d int
+		}
+		var a, b []vd
+		g.BFSEpochWith(&es, src, maxD, func(v int32, d int) { a = append(a, vd{v, d}) })
+		g.BFSWith(&ws, src, maxD, func(v int32, d int) { b = append(b, vd{v, d}) })
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d visits", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d visit %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
