@@ -1,22 +1,34 @@
-// Command benchcmp is the CI bench-regression gate: it compares two
-// BENCH_*.json files produced by `nwbench -json` and exits non-zero when
-// the new run regresses against the baseline.
+// Command benchcmp is the CI bench-regression gate. It compares two
+// JSON result files and exits non-zero when the new run regresses
+// against the baseline. Two formats are understood, sniffed from the
+// file itself:
 //
-// Allocation metrics (allocs/op, B/op) are deterministic given the
-// benchmark seed, so they are always gated. Wall time is only gated when
-// both files were produced on the same CPU model — comparing ns/op
-// across different hardware is noise, not signal; the gate reports the
-// skip explicitly so the log shows what was and wasn't checked.
+//   - nwbench schema-1 files ("BENCH_*.json"): allocation metrics
+//     (allocs/op, B/op) are deterministic given the benchmark seed, so
+//     they are always gated. Wall time is only gated when both files
+//     were produced on the same CPU model — comparing ns/op across
+//     different hardware is noise, not signal; the gate reports the
+//     skip explicitly so the log shows what was and wasn't checked.
 //
-// Besides baseline comparison, -floors imposes absolute minimums on the
-// new run's experiment metrics ("exp.metric=value", comma-separated) —
-// e.g. -floors dynamic.speedup=5 fails the gate if incremental repair
-// ever drops below 5x the per-mutation rebuild cost, regardless of what
-// the baseline recorded.
+//   - nwload reports ("tool": "nwload"): latency quantiles (p50/p99/
+//     p999) and goodput are gated per traffic class, under the same
+//     same-CPU rule as ns/op. Reports are only comparable when their
+//     workload signatures match — identical configs measuring the same
+//     thing; otherwise the ratio gates are skipped with an explicit
+//     line and only -floors/-ceilings apply.
+//
+// Besides baseline comparison, -floors imposes absolute minimums and
+// -ceilings absolute maximums on the new run's metrics
+// ("exp.metric=value", comma-separated) — e.g. -floors
+// dynamic.speedup=5 fails the gate if incremental repair ever drops
+// below 5x the per-mutation rebuild cost, and -ceilings
+// totals.errors=0 fails a load run that saw any error at all,
+// regardless of what the baseline recorded.
 //
 // Usage:
 //
-//	benchcmp [-threshold 0.10] [-force-ns] [-floors exp.metric=v,...] baseline.json new.json
+//	benchcmp [-threshold 0.10] [-force-ns] [-floors exp.metric=v,...] \
+//	    [-ceilings exp.metric=v,...] baseline.json new.json
 package main
 
 import (
@@ -26,9 +38,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"nwforest/internal/load"
 )
 
-// Record mirrors nwbench's BenchRecord.
+// Record mirrors nwbench's BenchRecord. nwload classes are converted
+// into this shape too (metrics only), so the floor/ceiling machinery
+// works identically on both formats.
 type Record struct {
 	Name     string             `json:"name"`
 	NsOp     int64              `json:"ns_op"`
@@ -49,13 +65,24 @@ type File struct {
 	Experiments []Record `json:"experiments"`
 }
 
+// input is one parsed result file: exactly one of bench/load is set.
+type input struct {
+	bench *File
+	load  *load.Report
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression before failing")
-	nsThreshold := flag.Float64("ns-threshold", -1, "separate threshold for ns/op (-1 = same as -threshold); CI uses a loose one because shared-runner wall time is noisy even on nominally identical CPUs")
-	forceNS := flag.Bool("force-ns", false, "gate ns/op even when the CPU models differ")
+	nsThreshold := flag.Float64("ns-threshold", -1, "separate threshold for wall-time metrics (ns/op, latency, goodput; -1 = same as -threshold); CI uses a loose one because shared-runner wall time is noisy even on nominally identical CPUs")
+	forceNS := flag.Bool("force-ns", false, "gate wall-time metrics even when the CPU models differ")
 	floorSpec := flag.String("floors", "", "absolute metric minimums for the new run, as exp.metric=value[,...]")
+	ceilingSpec := flag.String("ceilings", "", "absolute metric maximums for the new run, as exp.metric=value[,...]")
 	flag.Parse()
-	floors, err := parseFloors(*floorSpec)
+	floors, err := parseBounds(*floorSpec, "-floors")
+	if err != nil {
+		fatal(err)
+	}
+	ceilings, err := parseBounds(*ceilingSpec, "-ceilings")
 	if err != nil {
 		fatal(err)
 	}
@@ -66,14 +93,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] [-force-ns] baseline.json new.json")
 		os.Exit(2)
 	}
-	base, err := load(flag.Arg(0))
+	base, err := loadAny(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := load(flag.Arg(1))
+	cur, err := loadAny(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
+
+	var failures int
+	var records []Record
+	switch {
+	case base.bench != nil && cur.bench != nil:
+		failures = compareBench(base.bench, cur.bench, *threshold, *nsThreshold, *forceNS)
+		records = cur.bench.Experiments
+	case base.load != nil && cur.load != nil:
+		failures = compareLoad(base.load, cur.load, *nsThreshold, *forceNS)
+		records = loadRecords(cur.load)
+	default:
+		fatal(fmt.Errorf("incomparable files: %s and %s are not the same kind of report", flag.Arg(0), flag.Arg(1)))
+	}
+	failures += checkBounds(records, floors, false)
+	failures += checkBounds(records, ceilings, true)
+	if failures > 0 {
+		fmt.Printf("benchcmp: %d regression(s) beyond the threshold\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: no regressions")
+}
+
+// compareBench gates an nwbench run against its baseline.
+func compareBench(base, cur *File, threshold, nsThreshold float64, forceNS bool) int {
 	if base.Scale != cur.Scale || base.Seed != cur.Seed {
 		fatal(fmt.Errorf("incomparable runs: baseline scale=%d seed=%d vs new scale=%d seed=%d",
 			base.Scale, base.Seed, cur.Scale, cur.Seed))
@@ -81,7 +132,7 @@ func main() {
 	if base.Tier != cur.Tier {
 		fatal(fmt.Errorf("incomparable runs: baseline tier %q vs new tier %q", base.Tier, cur.Tier))
 	}
-	gateNS := *forceNS || (base.CPU != "" && base.CPU == cur.CPU)
+	gateNS := forceNS || (base.CPU != "" && base.CPU == cur.CPU)
 	if !gateNS {
 		fmt.Printf("benchcmp: ns/op not gated (baseline CPU %q, new CPU %q); gating allocs/op and B/op only\n",
 			base.CPU, cur.CPU)
@@ -99,10 +150,10 @@ func main() {
 			failures++
 			continue
 		}
-		failures += compare(old.Name, "allocs/op", old.AllocsOp, now.AllocsOp, *threshold, 64)
-		failures += compare(old.Name, "B/op", old.BOp, now.BOp, *threshold, 4096)
+		failures += compare(old.Name, "allocs/op", old.AllocsOp, now.AllocsOp, threshold, 64)
+		failures += compare(old.Name, "B/op", old.BOp, now.BOp, threshold, 4096)
 		if gateNS {
-			failures += compare(old.Name, "ns/op", old.NsOp, now.NsOp, *nsThreshold, 1_000_000)
+			failures += compare(old.Name, "ns/op", old.NsOp, now.NsOp, nsThreshold, 1_000_000)
 		} else {
 			// Say so per experiment: a reader scanning one experiment's block
 			// must see that wall time was skipped, not assume it passed.
@@ -114,12 +165,119 @@ func main() {
 	for name := range curByName {
 		fmt.Printf("note %-12s new experiment, no baseline yet\n", name)
 	}
-	failures += checkFloors(cur, floors)
-	if failures > 0 {
-		fmt.Printf("benchcmp: %d regression(s) beyond the threshold\n", failures)
-		os.Exit(1)
+	return failures
+}
+
+// compareLoad gates an nwload run against its baseline: per-class
+// latency quantiles may not grow, and goodput may not shrink, beyond
+// the threshold. Latency and goodput are wall-clock measurements, so
+// they follow the same same-CPU rule as ns/op.
+func compareLoad(base, cur *load.Report, threshold float64, forceNS bool) int {
+	if base.Workload != cur.Workload {
+		// The two runs measured different things; a ratio between them is
+		// meaningless, so the gate must not pretend to have checked it.
+		fmt.Printf("skip all latency/goodput gates (workload configs differ, not gated)\n")
+		fmt.Printf("  baseline: %s\n  new:      %s\n", base.Workload, cur.Workload)
+		return 0
 	}
-	fmt.Println("benchcmp: no regressions")
+	gate := forceNS || (base.CPU != "" && base.CPU == cur.CPU)
+	if !gate {
+		fmt.Printf("benchcmp: latency/goodput not gated (baseline CPU %q, new CPU %q); applying floors/ceilings only\n",
+			base.CPU, cur.CPU)
+	}
+
+	curByClass := make(map[string]load.ClassReport, len(cur.Classes))
+	for _, c := range cur.Classes {
+		curByClass[c.Class] = c
+	}
+	failures := 0
+	rows := append(append([]load.ClassReport{}, base.Classes...), base.Totals)
+	for _, old := range rows {
+		now, ok := curByClass[old.Class]
+		if old.Class == "totals" {
+			now, ok = cur.Totals, true
+		}
+		if !ok {
+			fmt.Printf("FAIL %-12s missing from new run\n", old.Class)
+			failures++
+			continue
+		}
+		quantiles := []struct {
+			metric   string
+			old, now float64
+		}{
+			{"p50_ms", old.Latency.P50, now.Latency.P50},
+			{"p99_ms", old.Latency.P99, now.Latency.P99},
+			{"p999_ms", old.Latency.P999, now.Latency.P999},
+		}
+		for _, q := range quantiles {
+			if !gate {
+				fmt.Printf("skip %-12s %-9s %12.2f -> %12.2f (cpu mismatch, not gated)\n",
+					old.Class, q.metric, q.old, q.now)
+				continue
+			}
+			failures += compareQuantile(old.Class, q.metric, q.old, q.now, threshold)
+		}
+	}
+	switch {
+	case !gate:
+		fmt.Printf("skip %-12s %-9s %12.2f -> %12.2f (cpu mismatch, not gated)\n",
+			"totals", "goodput", base.Goodput, cur.Goodput)
+	case cur.Goodput < base.Goodput*(1-threshold)-0.5:
+		fmt.Printf("FAIL %-12s %-9s %12.2f -> %12.2f (goodput shrank beyond -%.0f%%)\n",
+			"totals", "goodput", base.Goodput, cur.Goodput, threshold*100)
+		failures++
+	default:
+		fmt.Printf("ok   %-12s %-9s %12.2f -> %12.2f\n", "totals", "goodput", base.Goodput, cur.Goodput)
+	}
+	return failures
+}
+
+// compareQuantile gates one latency quantile. Reported quantiles are
+// quantized to histogram bucket bounds (load.QuantileGrain apart), so
+// the limit always allows at least one grain of growth plus a small
+// absolute slack — without it, a one-bucket wobble on an identical
+// workload would read as a 25% regression.
+func compareQuantile(class, metric string, old, now, threshold float64) int {
+	limit := old * (1 + threshold)
+	if grain := old*load.QuantileGrain + 5; limit < grain {
+		limit = grain
+	}
+	if now > limit {
+		fmt.Printf("FAIL %-12s %-9s %12.2f -> %12.2f (limit %.2f)\n", class, metric, old, now, limit)
+		return 1
+	}
+	fmt.Printf("ok   %-12s %-9s %12.2f -> %12.2f\n", class, metric, old, now)
+	return 0
+}
+
+// loadRecords flattens an nwload report into Records so floors and
+// ceilings address load metrics the same way as bench metrics:
+// "totals.p99_ms", "anytime.partials", "full.errors", ...
+func loadRecords(rep *load.Report) []Record {
+	rows := append(append([]load.ClassReport{}, rep.Classes...), rep.Totals)
+	out := make([]Record, 0, len(rows))
+	for _, c := range rows {
+		m := map[string]float64{
+			"submitted":    float64(c.Submitted),
+			"completed":    float64(c.Completed),
+			"cache_hits":   float64(c.CacheHits),
+			"partials":     float64(c.Partials),
+			"backpressure": float64(c.Backpressure),
+			"canceled":     float64(c.Canceled),
+			"errors":       float64(c.Errors),
+			"dropped":      float64(c.Dropped),
+			"p50_ms":       c.Latency.P50,
+			"p99_ms":       c.Latency.P99,
+			"p999_ms":      c.Latency.P999,
+			"max_ms":       c.Latency.Max,
+		}
+		if c.Class == "totals" {
+			m["goodput"] = rep.Goodput
+		}
+		out = append(out, Record{Name: c.Class, Metrics: m})
+	}
+	return out
 }
 
 // compare reports (and counts) a regression when now exceeds old by more
@@ -140,60 +298,64 @@ func compare(name, metric string, old, now int64, threshold float64, absSlack in
 	return 0
 }
 
-// floor is one -floors entry: experiment exp's metric must be >= min in
-// the new run.
-type floor struct {
+// bound is one -floors or -ceilings entry: experiment exp's metric must
+// be >= (floor) or <= (ceiling) val in the new run.
+type bound struct {
 	exp, metric string
-	min         float64
+	val         float64
 }
 
-func parseFloors(spec string) ([]floor, error) {
+func parseBounds(spec, flagName string) ([]bound, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	var out []floor
+	var out []bound
 	for _, part := range strings.Split(spec, ",") {
 		key, val, okEq := strings.Cut(part, "=")
 		exp, metric, okDot := strings.Cut(key, ".")
-		min, err := strconv.ParseFloat(val, 64)
+		v, err := strconv.ParseFloat(val, 64)
 		if !okEq || !okDot || exp == "" || metric == "" || err != nil {
-			return nil, fmt.Errorf("bad -floors entry %q (want exp.metric=value)", part)
+			return nil, fmt.Errorf("bad %s entry %q (want exp.metric=value)", flagName, part)
 		}
-		out = append(out, floor{exp: exp, metric: metric, min: min})
+		out = append(out, bound{exp: exp, metric: metric, val: v})
 	}
 	return out, nil
 }
 
-// checkFloors enforces the -floors minimums against the new run. A
-// missing experiment or metric fails too: a floor that silently stops
-// being measured is not a passing floor.
-func checkFloors(cur *File, floors []floor) int {
+// checkBounds enforces the -floors/-ceilings limits against the new
+// run's records. A missing experiment or metric fails too: a bound that
+// silently stops being measured is not a passing bound.
+func checkBounds(records []Record, bounds []bound, ceiling bool) int {
+	word, cmp := "floor", func(got, want float64) bool { return got >= want }
+	if ceiling {
+		word, cmp = "ceiling", func(got, want float64) bool { return got <= want }
+	}
 	failures := 0
-	for _, f := range floors {
+	for _, b := range bounds {
 		var rec *Record
-		for i := range cur.Experiments {
-			if cur.Experiments[i].Name == f.exp {
-				rec = &cur.Experiments[i]
+		for i := range records {
+			if records[i].Name == b.exp {
+				rec = &records[i]
 				break
 			}
 		}
 		if rec == nil {
-			fmt.Printf("FAIL %-12s floor %s >= %g: experiment missing from new run\n", f.exp, f.metric, f.min)
+			fmt.Printf("FAIL %-12s %s %s: experiment missing from new run\n", b.exp, word, b.metric)
 			failures++
 			continue
 		}
-		got, ok := rec.Metrics[f.metric]
+		got, ok := rec.Metrics[b.metric]
 		if !ok {
-			fmt.Printf("FAIL %-12s floor %s >= %g: metric not reported\n", f.exp, f.metric, f.min)
+			fmt.Printf("FAIL %-12s %s %s: metric not reported\n", b.exp, word, b.metric)
 			failures++
 			continue
 		}
-		if got < f.min {
-			fmt.Printf("FAIL %-12s %-9s %12.3g below floor %g\n", f.exp, f.metric, got, f.min)
+		if !cmp(got, b.val) {
+			fmt.Printf("FAIL %-12s %-9s %12.3g beyond %s %g\n", b.exp, b.metric, got, word, b.val)
 			failures++
 			continue
 		}
-		fmt.Printf("ok   %-12s %-9s %12.3g >= floor %g\n", f.exp, f.metric, got, f.min)
+		fmt.Printf("ok   %-12s %-9s %12.3g within %s %g\n", b.exp, b.metric, got, word, b.val)
 	}
 	return failures
 }
@@ -205,19 +367,38 @@ func pct(old, now int64) float64 {
 	return 100 * (float64(now) - float64(old)) / float64(old)
 }
 
-func load(path string) (*File, error) {
+// loadAny reads a result file, sniffing whether it is an nwbench
+// schema-1 file or an nwload report.
+func loadAny(path string) (*input, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	var probe struct {
+		Schema int    `json:"schema"`
+		Tool   string `json:"tool"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, probe.Schema)
+	}
+	if probe.Tool == "nwload" {
+		var rep load.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &input{load: &rep}, nil
+	}
+	if probe.Tool != "" {
+		return nil, fmt.Errorf("%s: unknown tool %q", path, probe.Tool)
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if f.Schema != 1 {
-		return nil, fmt.Errorf("%s: unsupported schema %d", path, f.Schema)
-	}
-	return &f, nil
+	return &input{bench: &f}, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+
+	"nwforest/internal/load"
+)
+
+func loadReport(workload, cpu string, p99 float64, goodput float64) *load.Report {
+	cr := load.ClassReport{Class: "totals", Completed: 100,
+		Latency: load.Quantiles{Count: 100, P50: p99 / 2, P99: p99, P999: p99 * 1.2}}
+	return &load.Report{
+		Schema: 1, Tool: "nwload", CPU: cpu, Workload: workload,
+		Classes: []load.ClassReport{{Class: "full", Latency: cr.Latency}},
+		Totals:  cr,
+		Goodput: goodput,
+	}
+}
+
+func TestCompareLoadSameWorkload(t *testing.T) {
+	base := loadReport("rate=10", "cpu-a", 100, 50)
+	// Within one quantile grain: not a regression.
+	if n := compareLoad(base, loadReport("rate=10", "cpu-a", 120, 50), 0.10, false); n != 0 {
+		t.Errorf("one-grain growth flagged as %d regressions", n)
+	}
+	// Far beyond grain + threshold: regression on every quantile row.
+	if n := compareLoad(base, loadReport("rate=10", "cpu-a", 200, 50), 0.10, false); n == 0 {
+		t.Error("2x latency growth not flagged")
+	}
+	// Goodput collapse: regression.
+	if n := compareLoad(base, loadReport("rate=10", "cpu-a", 100, 20), 0.10, false); n == 0 {
+		t.Error("goodput collapse not flagged")
+	}
+}
+
+func TestCompareLoadSkips(t *testing.T) {
+	base := loadReport("rate=10", "cpu-a", 100, 50)
+	// Different workloads are never gated, no matter how bad the numbers.
+	if n := compareLoad(base, loadReport("rate=99", "cpu-a", 900, 1), 0.10, false); n != 0 {
+		t.Errorf("differing workloads gated anyway: %d failures", n)
+	}
+	// Different CPUs: wall-clock gates skip.
+	if n := compareLoad(base, loadReport("rate=10", "cpu-b", 900, 1), 0.10, false); n != 0 {
+		t.Errorf("cpu mismatch gated anyway: %d failures", n)
+	}
+	// ...unless forced.
+	if n := compareLoad(base, loadReport("rate=10", "cpu-b", 900, 1), 0.10, true); n == 0 {
+		t.Error("-force-ns did not gate across CPUs")
+	}
+}
+
+func TestCheckBoundsOnLoadRecords(t *testing.T) {
+	records := loadRecords(loadReport("rate=10", "", 100, 50))
+	floors, err := parseBounds("totals.goodput=40", "-floors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := checkBounds(records, floors, false); n != 0 {
+		t.Errorf("goodput 50 failed floor 40: %d failures", n)
+	}
+	ceilings, err := parseBounds("totals.errors=0,totals.p99_ms=150", "-ceilings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := checkBounds(records, ceilings, true); n != 0 {
+		t.Errorf("clean run failed ceilings: %d failures", n)
+	}
+	tight, _ := parseBounds("totals.p99_ms=50", "-ceilings")
+	if n := checkBounds(records, tight, true); n != 1 {
+		t.Errorf("p99 100 passed ceiling 50: %d failures", n)
+	}
+	missing, _ := parseBounds("nope.p99_ms=50", "-ceilings")
+	if n := checkBounds(records, missing, true); n != 1 {
+		t.Errorf("missing experiment passed: %d failures", n)
+	}
+}
+
+func TestParseBoundsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"x", "x=1", "x.=1", ".y=1", "x.y=notanumber"} {
+		if _, err := parseBounds(bad, "-floors"); err == nil {
+			t.Errorf("parseBounds(%q) accepted garbage", bad)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command nwload is an open-loop load generator for nwserve: it uploads
+// a deterministic set of graphs, fires decompose jobs at a fixed
+// Poisson rate, and reports per-class latency quantiles, goodput and
+// failure counts. Arrivals never wait for responses, so a saturated
+// server shows up as growing latency and shed load instead of a
+// silently slowed-down client.
+//
+// The whole workload — arrival times, graph popularity (Zipf), the
+// full/incremental/anytime mix, per-job option seeds — is a pure
+// function of -seed, so a run is reproducible and two runs with the
+// same flags are comparable. -json writes a report benchcmp
+// understands (it gates latency quantiles and goodput the way it gates
+// ns/op for nwbench files).
+//
+// Usage:
+//
+//	nwload -addr http://127.0.0.1:8080 -rate 20 -duration 30s \
+//	    -incremental 0.2 -anytime 0.2 -json LOAD.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"nwforest/internal/load"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the nwserve instance")
+	rate := flag.Float64("rate", 10, "open-loop arrival rate, jobs/second")
+	duration := flag.Duration("duration", 30*time.Second, "how long to generate arrivals for")
+	seed := flag.Uint64("seed", 1, "workload seed (arrivals, mixes, popularity)")
+	graphs := flag.Int("graphs", 4, "number of distinct target graphs to upload")
+	minN := flag.Int("min-n", 512, "vertices of the smallest graph")
+	maxN := flag.Int("max-n", 2048, "vertices of the largest (and Zipf-hottest) graph")
+	forests := flag.Int("forests", 3, "spanning forests per generated graph (arboricity bound)")
+	zipfS := flag.Float64("zipf", 1.1, "graph popularity exponent (0 = uniform)")
+	incremental := flag.Float64("incremental", 0.2, "fraction of jobs running mode=incremental")
+	anytime := flag.Float64("anytime", 0.2, "fraction of jobs running anytime with -anytime-timeout")
+	anytimeTimeout := flag.Duration("anytime-timeout", 150*time.Millisecond, "deadline for anytime jobs")
+	alpha := flag.Int("alpha", 0, "job Alpha (0 = forests+1)")
+	eps := flag.Float64("eps", 0.5, "job Eps")
+	seeds := flag.Int("seeds", 4, "option-seed pool size (small = more cache hits)")
+	maxInFlight := flag.Int("max-inflight", 256, "outstanding-job cap; arrivals beyond it are dropped")
+	drain := flag.Duration("drain", 30*time.Second, "how long to wait for outstanding jobs after the last arrival")
+	jsonPath := flag.String("json", "", "write the machine-readable report to this file (\"-\" = stdout)")
+	quiet := flag.Bool("q", false, "suppress setup/progress logging")
+	flag.Parse()
+
+	cfg := load.Config{
+		BaseURL:             *addr,
+		Rate:                *rate,
+		Duration:            *duration,
+		Seed:                *seed,
+		Graphs:              *graphs,
+		MinVertices:         *minN,
+		MaxVertices:         *maxN,
+		Forests:             *forests,
+		ZipfS:               *zipfS,
+		IncrementalFraction: *incremental,
+		AnytimeFraction:     *anytime,
+		AnytimeTimeout:      *anytimeTimeout,
+		Alpha:               *alpha,
+		Eps:                 *eps,
+		Seeds:               *seeds,
+		MaxInFlight:         *maxInFlight,
+		DrainTimeout:        *drain,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	if *incremental < 0 || *anytime < 0 || *incremental+*anytime > 1 {
+		fatal(fmt.Errorf("bad mix: -incremental %g + -anytime %g must be within [0, 1]", *incremental, *anytime))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Go = runtime.Version()
+	rep.CPU = cpuModel()
+	rep.WriteText(os.Stdout)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, rep *load.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// cpuModel best-effort identifies the host CPU, mirroring nwbench's
+// detection so benchcmp applies the same same-hardware rule to latency
+// gates as it does to ns/op.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwload:", err)
+	os.Exit(1)
+}

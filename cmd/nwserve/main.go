@@ -64,6 +64,7 @@ func main() {
 	storeBytes := flag.Int64("store-bytes", service.DefaultMaxSourceBytes, "uploaded graph bytes retained before the oldest are dropped")
 	resultCache := flag.Int("result-cache", 1024, "result cache capacity in entries")
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	anytimeGrace := flag.Duration("anytime-grace", 0, "how long an anytime job past its deadline may take to surrender its checkpoint (0 = 5s default)")
 	ingestDir := flag.String("ingest-dir", "", "directory POST /graphs {\"path\":...} may read from (empty = disabled)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 	dataDir := flag.String("data-dir", "", "persistence directory: WAL + snapshots + graph bytes (empty = in-memory only)")
@@ -124,6 +125,7 @@ func main() {
 		MaxStoreBytes:    *storeBytes,
 		ResultCapacity:   *resultCache,
 		DefaultTimeout:   *timeout,
+		AnytimeGrace:     *anytimeGrace,
 		IngestDir:        *ingestDir,
 		DataDir:          *dataDir,
 		SnapshotInterval: *snapshotInterval,

@@ -80,6 +80,15 @@ type Request struct {
 	// parameter (the nwforest.DecomposeList family); it is not part of
 	// the serialized request or of the cache key.
 	Palettes [][]int32 `json:"-"`
+	// Anytime asks an anytime-capable algorithm (Capabilities.Anytime) to
+	// collect phase-boundary checkpoints and, should ctx expire mid-run,
+	// return the best checkpoint as a partial Result (Result.Anytime set)
+	// instead of an error. A run that finishes before its deadline
+	// returns a Result bit-identical to the same run without Anytime, so
+	// the flag is deliberately not part of the cache key: complete
+	// results are interchangeable, and partial results must be cached
+	// under a quality-qualified key by the caller (internal/service does).
+	Anytime bool `json:"anytime,omitempty"`
 }
 
 // Result is the union of the algorithms' outputs: a decomposition, an
@@ -96,6 +105,31 @@ type Result struct {
 	Rounds int `json:"rounds,omitempty"`
 	// Phases breaks a scalar algorithm's Rounds down by phase.
 	Phases []dist.Phase `json:"phases,omitempty"`
+	// Anytime is set only on partial results: an anytime run whose
+	// deadline fired served its best phase-boundary checkpoint. Complete
+	// results — even from anytime runs — leave it nil.
+	Anytime *AnytimeInfo `json:"anytime,omitempty"`
+}
+
+// AnytimeInfo qualifies a partial anytime result with its quality bound.
+type AnytimeInfo struct {
+	// Partial is always true on served checkpoints; it exists so clients
+	// reading serialized results can test one field.
+	Partial bool `json:"partial"`
+	// ColorsUsed is the quality bound: the distinct colors (forests) the
+	// served checkpoint uses. For "orient" it counts the forests of the
+	// underlying checkpoint; Orientation.MaxOutDegree carries the
+	// orientation's own quality.
+	ColorsUsed int `json:"colorsUsed"`
+	// Target is the color budget a complete run aims for
+	// (ceil((1+eps)*alpha)+1, or the palette size for "list"), so
+	// ColorsUsed/Target reads as a quality ratio.
+	Target int `json:"target"`
+	// Checkpoints counts the phase-boundary snapshots offered before the
+	// deadline fired.
+	Checkpoints int `json:"checkpoints"`
+	// Phase names the phase boundary the served checkpoint was taken at.
+	Phase string `json:"phase"`
 }
 
 // Decomposition is a forest decomposition of a graph.
@@ -156,6 +190,9 @@ type Capabilities struct {
 	// Incremental: results can be maintained by warm-start repair
 	// (the service's mode=incremental).
 	Incremental bool `json:"incremental"`
+	// Anytime: the run is phase-structured with servable checkpoints;
+	// Request.Anytime turns a mid-run deadline into a partial Result.
+	Anytime bool `json:"anytime"`
 	// Output names the result shape: "decomposition", "orientation" or
 	// "scalar".
 	Output string `json:"output"`
@@ -265,6 +302,9 @@ func ValidateRequest(req Request) error {
 	}
 	if d.Caps.NeedsEps && !(req.Options.Eps > 0 && req.Options.Eps <= MaxEps) { // the negation also rejects NaN
 		return fmt.Errorf("algo: %s requires options.eps in (0, %g]", req.Algorithm, MaxEps)
+	}
+	if req.Anytime && !d.Caps.Anytime {
+		return fmt.Errorf("algo: %s does not support anytime mode", req.Algorithm)
 	}
 	if d.Validate != nil {
 		return d.Validate(req)

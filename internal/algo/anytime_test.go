@@ -1,0 +1,192 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"nwforest/internal/gen"
+	"nwforest/internal/graph"
+	"nwforest/internal/verify"
+)
+
+// anytimeAlgos are the decomposition-producing algorithms advertising
+// the anytime capability; the property tests cover all of them.
+func anytimeAlgos(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, d := range All() {
+		if d.Caps.Anytime {
+			names = append(names, d.Name)
+		}
+	}
+	if len(names) < 3 {
+		t.Fatalf("only %d anytime-capable algorithms registered: %v", len(names), names)
+	}
+	return names
+}
+
+// TestAnytimeCheckpointProperty is the checkpoint contract, checked at
+// every phase boundary of every anytime-capable algorithm across
+// seeds, graphs and CUT rules:
+//
+//  1. every offered checkpoint snapshot is a valid forest decomposition
+//     of the input graph (internal/verify is the judge), and
+//  2. the retained quality bound (colors used by the best snapshot) is
+//     monotonically non-increasing over the run.
+//
+// The observer hook sees candidates before the Checkpointer's own
+// accept/reject verification, so this also proves the stronger fact
+// that in these configurations phase boundaries never even produce an
+// invalid candidate.
+func TestAnytimeCheckpointProperty(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"forest-union", gen.ForestUnion(220, 3, 5)},
+		{"simple", gen.SimpleForestUnion(150, 4, 8)},
+	}
+	for _, tc := range graphs {
+		for _, name := range anytimeAlgos(t) {
+			for _, seed := range []uint64{1, 2} {
+				for _, sampled := range []bool{false, true} {
+					runAnytimeProperty(t, tc.name, tc.g, name, seed, sampled)
+				}
+			}
+		}
+	}
+}
+
+func runAnytimeProperty(t *testing.T, gname string, g *graph.Graph, algoName string, seed uint64, sampled bool) {
+	t.Helper()
+	label := func() string {
+		return gname + "/" + algoName + "/seed=" + string(rune('0'+seed)) + "/sampled=" + map[bool]string{true: "t", false: "f"}[sampled]
+	}
+	offers := 0
+	lastBest := -1
+	anytimeObserver = func(phase string, colors []int32, used, bestUsed int) {
+		offers++
+		k := int(verify.MaxColor(colors)) + 1
+		if err := verify.ForestDecomposition(g, colors, k); err != nil {
+			t.Errorf("%s: checkpoint %d (%s) invalid: %v", label(), offers, phase, err)
+		}
+		if lastBest >= 0 && bestUsed > lastBest {
+			t.Errorf("%s: quality bound regressed at checkpoint %d (%s): %d -> %d",
+				label(), offers, phase, lastBest, bestUsed)
+		}
+		lastBest = bestUsed
+	}
+	defer func() { anytimeObserver = nil }()
+
+	req := Request{Algorithm: algoName, Anytime: true,
+		Options: Options{Alpha: 4, Eps: 0.5, Seed: seed, Sampled: sampled}}
+	res, err := Run(context.Background(), g, req)
+	if err != nil {
+		t.Fatalf("%s: %v", label(), err)
+	}
+	if offers == 0 {
+		t.Fatalf("%s: no checkpoints offered over a complete run", label())
+	}
+	if res.Anytime != nil {
+		t.Fatalf("%s: complete run carries partial metadata %+v", label(), res.Anytime)
+	}
+}
+
+// TestAnytimeCompleteBitIdentical: a run that finishes before any
+// deadline must be byte-for-byte the run a non-anytime request
+// produces — checkpointing never touches the algorithm's randomness.
+// This is what justifies keeping Anytime out of the cache key.
+func TestAnytimeCompleteBitIdentical(t *testing.T) {
+	g := gen.ForestUnion(300, 3, 11)
+	for _, name := range []string{"decompose", "list"} {
+		plain, err := Run(context.Background(), g,
+			Request{Algorithm: name, Options: Options{Alpha: 4, Eps: 0.5, Seed: 3}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		anytime, err := Run(context.Background(), g,
+			Request{Algorithm: name, Anytime: true, Options: Options{Alpha: 4, Eps: 0.5, Seed: 3}})
+		if err != nil {
+			t.Fatalf("%s anytime: %v", name, err)
+		}
+		if anytime.Anytime != nil {
+			t.Fatalf("%s: undeadlined anytime run returned a partial", name)
+		}
+		a, b := plain.Decomposition.Colors, anytime.Decomposition.Colors
+		if len(a) != len(b) {
+			t.Fatalf("%s: color slices differ in length", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: colors diverge at edge %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestAnytimeDeadlinePartial interrupts every anytime-capable algorithm
+// deterministically — the observer cancels the context at the first
+// checkpoint — and requires a verify-clean partial result with honest
+// quality metadata instead of an error.
+func TestAnytimeDeadlinePartial(t *testing.T) {
+	g := gen.ForestUnion(250, 3, 7)
+	for _, name := range anytimeAlgos(t) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var partialColors []int32
+		anytimeObserver = func(phase string, colors []int32, used, bestUsed int) {
+			if partialColors == nil {
+				partialColors = append([]int32(nil), colors...)
+			}
+			cancel()
+		}
+		req := Request{Algorithm: name, Anytime: true,
+			Options: Options{Alpha: 4, Eps: 0.5, Seed: 9}}
+		res, err := Run(ctx, g, req)
+		anytimeObserver = nil
+		cancel()
+		if err != nil {
+			t.Errorf("%s: deadline mid-run errored instead of serving a checkpoint: %v", name, err)
+			continue
+		}
+		if res.Anytime == nil || !res.Anytime.Partial {
+			t.Errorf("%s: interrupted run carries no partial metadata", name)
+			continue
+		}
+		if res.Anytime.Checkpoints < 1 || res.Anytime.Phase == "" || res.Anytime.Target < 1 {
+			t.Errorf("%s: implausible partial metadata %+v", name, res.Anytime)
+		}
+		switch {
+		case res.Orientation != nil:
+			if res.Orientation.MaxOutDegree < 1 {
+				t.Errorf("%s: partial orientation with max out-degree %d", name, res.Orientation.MaxOutDegree)
+			}
+		case res.Decomposition != nil:
+			colors := res.Decomposition.Colors
+			k := int(verify.MaxColor(colors)) + 1
+			check := verify.ForestDecomposition
+			if name == "pseudo" {
+				check = verify.PseudoForestDecomposition
+			}
+			if err := check(g, colors, k); err != nil {
+				t.Errorf("%s: partial result fails verification: %v", name, err)
+			}
+			if res.Anytime.ColorsUsed > k {
+				t.Errorf("%s: quality bound %d exceeds color range %d", name, res.Anytime.ColorsUsed, k)
+			}
+		default:
+			t.Errorf("%s: partial result carries neither decomposition nor orientation", name)
+		}
+	}
+}
+
+// TestAnytimeValidation: requesting anytime from an algorithm that
+// cannot checkpoint is a client error, not a silent downgrade.
+func TestAnytimeValidation(t *testing.T) {
+	if err := ValidateRequest(Request{Algorithm: "arboricity", Anytime: true}); err == nil {
+		t.Error("anytime accepted for an algorithm without the capability")
+	}
+	if err := ValidateRequest(Request{Algorithm: "decompose", Anytime: true,
+		Options: Options{Alpha: 2, Eps: 0.5}}); err != nil {
+		t.Errorf("anytime rejected for decompose: %v", err)
+	}
+}

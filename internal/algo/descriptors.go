@@ -79,6 +79,49 @@ func (req Request) palettes(m int) ([][]int32, error) {
 	return FullPalettes(m, req.PaletteSize), nil
 }
 
+// anytimeTarget is the color budget a complete (1+eps)alpha run aims
+// for; partial results report their quality bound against it.
+func anytimeTarget(o Options) int {
+	return int(math.Ceil((1+o.Eps)*float64(o.Alpha))) + 1
+}
+
+// anytimeObserver, when non-nil, is installed on every Checkpointer an
+// anytime run creates (test hook for the checkpoint property tests).
+var anytimeObserver func(phase string, colors []int32, used, bestUsed int)
+
+// newCheckpointer builds the run's Checkpointer when req asks for
+// anytime mode, nil otherwise (a nil Checkpointer is inert in core).
+func newCheckpointer(g *graph.Graph, req Request, target int) *core.Checkpointer {
+	if !req.Anytime {
+		return nil
+	}
+	cp := core.NewCheckpointer(g, target)
+	cp.Observer = anytimeObserver
+	return cp
+}
+
+// anytimeBest returns the best checkpoint of a deadline-interrupted run:
+// ok only when the run failed because ctx expired AND a valid checkpoint
+// was retained (so a pre-cancellation or checkpoint-free failure still
+// surfaces as the original error).
+func anytimeBest(ctx context.Context, cp *core.Checkpointer) (colors []int32, used, k int, ok bool) {
+	if cp == nil || ctx.Err() == nil {
+		return nil, 0, 0, false
+	}
+	return cp.Best()
+}
+
+// partialInfo stamps a served checkpoint's quality bound.
+func partialInfo(cp *core.Checkpointer, used int) *AnytimeInfo {
+	return &AnytimeInfo{
+		Partial:     true,
+		ColorsUsed:  used,
+		Target:      cp.Target(),
+		Checkpoints: cp.Checkpoints(),
+		Phase:       cp.BestPhase(),
+	}
+}
+
 // decomposition assembles the common Decomposition fields from a
 // coloring and the accumulated cost.
 func decomposition(colors []int32, numForests, diameter int, cost *dist.Cost) *Decomposition {
@@ -98,7 +141,7 @@ func init() {
 		Required: []string{"options.alpha", "options.eps"},
 		Caps: Capabilities{
 			NeedsAlpha: true, NeedsEps: true, UsesSeed: true,
-			Incremental: true, Output: OutputDecomposition,
+			Incremental: true, Anytime: true, Output: OutputDecomposition,
 		},
 		Normalize: func(req Request) Request { // full Options; no alphaStar/palette
 			req.AlphaStar, req.PaletteSize = 0, 0
@@ -106,14 +149,20 @@ func init() {
 		},
 		Run: func(ctx context.Context, g *graph.Graph, req Request, cost *dist.Cost) (*Result, error) {
 			opts := req.Options
+			cp := newCheckpointer(g, req, anytimeTarget(opts))
 			res, err := core.ForestDecomposition(ctx, g, core.FDOptions{
 				Alpha:          opts.Alpha,
 				Eps:            opts.Eps,
 				Seed:           opts.Seed,
 				Rule:           opts.rule(),
 				ReduceDiameter: opts.ReduceDiameter,
+				Checkpoint:     cp,
 			}, cost)
 			if err != nil {
+				if colors, used, k, ok := anytimeBest(ctx, cp); ok {
+					d := decomposition(colors, k, verify.MaxForestDiameter(g, colors), cost)
+					return &Result{Decomposition: d, Anytime: partialInfo(cp, used)}, nil
+				}
 				return nil, err
 			}
 			// core verifies the final decomposition itself; no re-check.
@@ -129,7 +178,7 @@ func init() {
 		Required: []string{"options.alpha", "options.eps"},
 		Caps: Capabilities{
 			NeedsAlpha: true, NeedsEps: true, UsesSeed: true,
-			UsesPalettes: true, Output: OutputDecomposition,
+			UsesPalettes: true, Anytime: true, Output: OutputDecomposition,
 		},
 		Normalize: func(req Request) Request { // Options minus ReduceDiameter; palette defaulted
 			req.AlphaStar = 0
@@ -143,14 +192,23 @@ func init() {
 				return nil, err
 			}
 			opts := req.Options
+			// A mid-list checkpoint completes with colors outside the
+			// palettes: partial list results are forest-valid but only
+			// palette-respecting where the interrupted run had colored.
+			cp := newCheckpointer(g, req, req.PaletteSize)
 			res, err := core.ListForestDecomposition(ctx, g, core.LFDOptions{
-				Palettes: palettes,
-				Alpha:    opts.Alpha,
-				Eps:      opts.Eps,
-				Seed:     opts.Seed,
-				Rule:     opts.rule(),
+				Palettes:   palettes,
+				Alpha:      opts.Alpha,
+				Eps:        opts.Eps,
+				Seed:       opts.Seed,
+				Rule:       opts.rule(),
+				Checkpoint: cp,
 			}, cost)
 			if err != nil {
+				if colors, used, _, ok := anytimeBest(ctx, cp); ok {
+					d := decomposition(colors, used, verify.MaxForestDiameter(g, colors), cost)
+					return &Result{Decomposition: d, Anytime: partialInfo(cp, used)}, nil
+				}
 				return nil, err
 			}
 			// core verifies forest-ness and palette respect; with uniform
@@ -275,7 +333,7 @@ func init() {
 		Required: []string{"options.alpha", "options.eps"},
 		Caps: Capabilities{
 			NeedsAlpha: true, NeedsEps: true, UsesSeed: true,
-			Output: OutputDecomposition,
+			Anytime: true, Output: OutputDecomposition,
 		},
 		Normalize: func(req Request) Request { // Alpha/Eps/Seed/Sampled; diameter forced on
 			req.AlphaStar, req.PaletteSize = 0, 0
@@ -283,7 +341,8 @@ func init() {
 			return req
 		},
 		Run: func(ctx context.Context, g *graph.Graph, req Request, cost *dist.Cost) (*Result, error) {
-			o, _, err := orientViaDecomposition(ctx, g, req.Options, cost)
+			cp := newCheckpointer(g, req, anytimeTarget(req.Options))
+			o, partial, err := orientViaDecomposition(ctx, g, req.Options, cp, cost)
 			if err != nil {
 				return nil, err
 			}
@@ -293,7 +352,7 @@ func init() {
 				return nil, fmt.Errorf("algo: result failed verification: %w", err)
 			}
 			// Pseudo-forests are not trees; diameter is not defined.
-			return &Result{Decomposition: decomposition(colors, used, -1, cost)}, nil
+			return &Result{Decomposition: decomposition(colors, used, -1, cost), Anytime: partial}, nil
 		},
 	})
 
@@ -303,7 +362,7 @@ func init() {
 		Required: []string{"options.alpha", "options.eps"},
 		Caps: Capabilities{
 			NeedsAlpha: true, NeedsEps: true, UsesSeed: true,
-			Output: OutputOrientation,
+			Anytime: true, Output: OutputOrientation,
 		},
 		Normalize: func(req Request) Request { // Alpha/Eps/Seed/Sampled; diameter forced on
 			req.AlphaStar, req.PaletteSize = 0, 0
@@ -311,7 +370,8 @@ func init() {
 			return req
 		},
 		Run: func(ctx context.Context, g *graph.Graph, req Request, cost *dist.Cost) (*Result, error) {
-			o, _, err := orientViaDecomposition(ctx, g, req.Options, cost)
+			cp := newCheckpointer(g, req, anytimeTarget(req.Options))
+			o, partial, err := orientViaDecomposition(ctx, g, req.Options, cp, cost)
 			if err != nil {
 				return nil, err
 			}
@@ -320,7 +380,7 @@ func init() {
 				MaxOutDegree: verify.MaxOutDegree(g, o),
 				Rounds:       cost.Rounds(),
 				Phases:       cost.Breakdown(),
-			}}, nil
+			}, Anytime: partial}, nil
 		},
 	})
 
@@ -369,17 +429,24 @@ func init() {
 
 // orientViaDecomposition is the shared decompose-then-root step of
 // "orient" and "pseudo": a diameter-reduced forest decomposition (rooting
-// costs O(diameter) rounds) oriented toward the tree roots.
-func orientViaDecomposition(ctx context.Context, g *graph.Graph, opts Options, cost *dist.Cost) (*verify.Orientation, *core.FDResult, error) {
+// costs O(diameter) rounds) oriented toward the tree roots. When cp is
+// non-nil and the deadline fires mid-decomposition, the best checkpoint
+// is rooted instead (rooting itself never observes ctx) and the returned
+// AnytimeInfo qualifies the result as partial.
+func orientViaDecomposition(ctx context.Context, g *graph.Graph, opts Options, cp *core.Checkpointer, cost *dist.Cost) (*verify.Orientation, *AnytimeInfo, error) {
 	res, err := core.ForestDecomposition(ctx, g, core.FDOptions{
 		Alpha:          opts.Alpha,
 		Eps:            opts.Eps,
 		Seed:           opts.Seed,
 		Rule:           opts.rule(),
 		ReduceDiameter: true,
+		Checkpoint:     cp,
 	}, cost)
 	if err != nil {
+		if colors, used, _, ok := anytimeBest(ctx, cp); ok {
+			return orient.FromForestDecomposition(g, colors, cost), partialInfo(cp, used), nil
+		}
 		return nil, nil, err
 	}
-	return orient.FromForestDecomposition(g, res.Colors, cost), res, nil
+	return orient.FromForestDecomposition(g, res.Colors, cost), nil, nil
 }

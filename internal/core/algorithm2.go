@@ -52,6 +52,11 @@ type Algo2Options struct {
 	// PhaseNs, when non-nil, receives wall-clock phase timings of this
 	// run (benchmark instrumentation; no effect on the result).
 	PhaseNs *Algo2PhaseNs
+	// Checkpoint, when non-nil, is offered a servable snapshot at every
+	// phase cut (run start and after each network-decomposition class,
+	// next to the core/algorithm2-class round charge). It never touches
+	// the run's randomness or cost, so results stay bit-identical.
+	Checkpoint *Checkpointer
 }
 
 // Algo2PhaseNs reports where RunAlgorithm2's wall-clock time went:
@@ -142,11 +147,23 @@ func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost 
 		}
 	}
 	unit := 2 * (r + rPrime)
+	// The network decomposition below is not ctx-aware; refuse an
+	// already-expired context here rather than burning it (this also
+	// keeps anytime runs from checkpointing work nobody waits for).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	src := rng.New(opts.Seed)
 
 	st := forest.New(g)
 	res := &Algo2Result{State: st}
 	res.Stats.R, res.Stats.RPrime, res.Stats.Unit = r, rPrime, unit
+	if opts.Checkpoint != nil {
+		// Checkpoint 0: the all-uncolored state completes to a pure
+		// greedy decomposition, so a deadline firing inside the (not
+		// ctx-aware) network decomposition still has a result to serve.
+		opts.Checkpoint.Offer(st.Colors(), "algorithm2/start")
+	}
 	if g.M() == 0 {
 		return res, nil
 	}
@@ -243,6 +260,9 @@ func RunAlgorithm2(ctx context.Context, g *graph.Graph, opts Algo2Options, cost 
 		// All clusters of a class run in parallel; the class costs the
 		// weak-diameter simulation bound O((R+R') log n).
 		cost.Charge(2*(r+rPrime)*logN, "core/algorithm2-class")
+		if opts.Checkpoint != nil {
+			opts.Checkpoint.Offer(st.Colors(), fmt.Sprintf("algorithm2/class-%d", class))
+		}
 	}
 	if opts.PhaseNs != nil {
 		opts.PhaseNs.ClustersNs = time.Since(tCl).Nanoseconds()
@@ -413,7 +433,14 @@ func (rn *algo2Run) stampMarks(job *clusterJob) {
 // marks are stamped. All writes land inside the cluster's ball (plus,
 // for CutSampled, its one-hop halo), at edges no concurrently-running
 // cluster can observe.
-func (rn *algo2Run) processCluster(job *clusterJob, a *algo2Arena) {
+//
+// ctx is observed once per augmentation walk: a single cluster can hold
+// nearly the whole graph (dense forest unions decompose into a handful
+// of clusters), so the per-cluster checks in the class schedulers alone
+// would let one cluster overrun a deadline by the full phase length.
+// Aborting between walks leaves st a valid partial coloring — Apply only
+// ever lands complete sequences — so anytime checkpoints stay servable.
+func (rn *algo2Run) processCluster(ctx context.Context, job *clusterJob, a *algo2Arena) error {
 	ep := job.ep
 	inInner := func(v int32) bool { return rn.innerMark[v] == ep }
 	inOuter := func(v int32) bool { return rn.outerMark[v] == ep }
@@ -446,6 +473,9 @@ func (rn *algo2Run) processCluster(job *clusterJob, a *algo2Arena) {
 			if rn.st.Color(id) != verify.Uncolored {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			seq, stats := a.searcher.FindAugmenting(rn.palettes, id, inInner, inOuter, rn.maxVisited)
 			if seq == nil {
 				rn.removed[id] = true
@@ -465,6 +495,7 @@ func (rn *algo2Run) processCluster(job *clusterJob, a *algo2Arena) {
 		}
 	}
 	job.stats.clusters++
+	return nil
 }
 
 // mergeJob folds one finished cluster into the result, in center order.
@@ -500,7 +531,9 @@ func (rn *algo2Run) runClassSequential(ctx context.Context, centers []int32, clu
 		job.conflicted = false
 		rn.computeBall(&job, rn.seqArena, false)
 		rn.stampMarks(&job)
-		rn.processCluster(&job, rn.seqArena)
+		if err := rn.processCluster(ctx, &job, rn.seqArena); err != nil {
+			return err
+		}
 		rn.mergeJob(&job)
 	}
 	return nil
@@ -582,7 +615,9 @@ func (rn *algo2Run) runClassParallel(ctx context.Context, centers []int32, clust
 		if ctx.Err() != nil {
 			return
 		}
-		rn.processCluster(&jobs[clean[k]], rn.pool.arenas[w])
+		// An aborted worker just stops early; the ctx check after the
+		// batch turns the abort into the error return.
+		_ = rn.processCluster(ctx, &jobs[clean[k]], rn.pool.arenas[w])
 	})
 	if err := ctx.Err(); err != nil {
 		return err
@@ -599,7 +634,9 @@ func (rn *algo2Run) runClassParallel(ctx context.Context, centers []int32, clust
 		}
 		jobs[i].ep = rn.allocEpochs(1)
 		rn.stampMarks(&jobs[i])
-		rn.processCluster(&jobs[i], rn.pool.arenas[0])
+		if err := rn.processCluster(ctx, &jobs[i], rn.pool.arenas[0]); err != nil {
+			return err
+		}
 	}
 
 	// Phase D: deterministic merge in center order.

@@ -38,6 +38,11 @@ type FDOptions struct {
 	// PhaseNs, when non-nil, receives Algorithm 2 phase timings of the
 	// final attempt (benchmark instrumentation).
 	PhaseNs *Algo2PhaseNs
+	// Checkpoint, when non-nil, collects anytime snapshots at every phase
+	// cut (Algorithm 2 classes and the post-leftover coloring); it has no
+	// effect on the run's result. Retried attempts keep offering into the
+	// same Checkpointer, so its best snapshot only improves.
+	Checkpoint *Checkpointer
 }
 
 // FDResult is a complete forest decomposition.
@@ -100,15 +105,16 @@ func forestDecompositionOnce(ctx context.Context, g *graph.Graph, opts FDOptions
 		k = opts.Alpha + 1
 	}
 	a2, err := RunAlgorithm2(ctx, g, Algo2Options{
-		Palettes: fullPalette(g.M(), k),
-		Alpha:    opts.Alpha,
-		Eps:      opts.Eps,
-		Rule:     opts.Rule,
-		Seed:     seed,
-		RPrime:   opts.RPrime,
-		R:        opts.R,
-		Workers:  opts.Workers,
-		PhaseNs:  opts.PhaseNs,
+		Palettes:   fullPalette(g.M(), k),
+		Alpha:      opts.Alpha,
+		Eps:        opts.Eps,
+		Rule:       opts.Rule,
+		Seed:       seed,
+		RPrime:     opts.RPrime,
+		R:          opts.R,
+		Workers:    opts.Workers,
+		PhaseNs:    opts.PhaseNs,
+		Checkpoint: opts.Checkpoint,
 	}, cost)
 	if err != nil {
 		return nil, err
@@ -131,6 +137,12 @@ func forestDecompositionOnce(ctx context.Context, g *graph.Graph, opts FDOptions
 		return nil, err
 	}
 	res.NumColors = k + extra
+	if opts.Checkpoint != nil {
+		// The leftover is colored: this snapshot is the complete
+		// (pre-diameter-reduction) decomposition, so a deadline firing
+		// during CutDepth still serves a full-quality coloring.
+		opts.Checkpoint.Offer(res.Colors, "leftover")
+	}
 
 	if opts.ReduceDiameter {
 		z := int(math.Ceil(4 / opts.Eps))

@@ -34,6 +34,12 @@ type LFDOptions struct {
 	// Workers bounds the parallel cluster phase (see Algo2Options.Workers;
 	// results are bit-identical for every setting).
 	Workers int
+	// Checkpoint, when non-nil, collects anytime snapshots at every phase
+	// cut. Snapshots completed from a mid-list run color their completion
+	// edges with fresh colors outside the palettes: they are verified
+	// forest decompositions but only palette-respecting on the edges the
+	// interrupted run had colored.
+	Checkpoint *Checkpointer
 }
 
 // LFDResult is a complete list forest decomposition.
@@ -100,12 +106,13 @@ func listFDOnce(ctx context.Context, g *graph.Graph, opts LFDOptions, seed uint6
 	q1 := split.InducedPalettes(g, opts.Palettes, 1)
 
 	a2, err := RunAlgorithm2(ctx, g, Algo2Options{
-		Palettes: q0,
-		Alpha:    opts.Alpha,
-		Eps:      opts.Eps,
-		Rule:     opts.Rule,
-		Seed:     seed + 29,
-		Workers:  opts.Workers,
+		Palettes:   q0,
+		Alpha:      opts.Alpha,
+		Eps:        opts.Eps,
+		Rule:       opts.Rule,
+		Seed:       seed + 29,
+		Workers:    opts.Workers,
+		Checkpoint: opts.Checkpoint,
 	}, cost)
 	if err != nil {
 		return nil, err
@@ -138,6 +145,9 @@ func listFDOnce(ctx context.Context, g *graph.Graph, opts LFDOptions, seed uint6
 		for subID, c := range subColors {
 			colors[emap[subID]] = c
 		}
+	}
+	if opts.Checkpoint != nil {
+		opts.Checkpoint.Offer(colors, "leftover")
 	}
 	if err := verify.RespectsPalettes(colors, opts.Palettes); err != nil {
 		return nil, fmt.Errorf("core: list decomposition violates palettes: %w", err)

@@ -1,0 +1,124 @@
+package load
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram geometry: bucket i covers latencies up to
+// histBase * histGrowth^i. 64 buckets at 25% growth span ~50µs (a local
+// cache hit) to ~60s (far beyond any sane job deadline); everything
+// above the last bound lands in the overflow bucket and is reported as
+// the recorded maximum.
+const (
+	histBuckets = 64
+	histBase    = 50 * time.Microsecond
+	histGrowth  = 1.25
+)
+
+// QuantileGrain is the histogram's geometric bucket growth factor:
+// reported quantiles are quantized to bucket upper bounds, so two runs
+// of an identical workload can legitimately differ by one grain.
+// Consumers gating quantiles against a baseline (cmd/benchcmp) must
+// allow at least this ratio before calling a difference a regression.
+const QuantileGrain = histGrowth
+
+// histBounds holds the shared upper bounds, built once.
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	bound := float64(histBase)
+	for i := range b {
+		b[i] = time.Duration(bound)
+		bound *= histGrowth
+	}
+	return b
+}()
+
+// Histogram is a fixed-geometry latency histogram safe for concurrent
+// Observe calls. Quantile answers are deterministic given the recorded
+// multiset: they depend only on bucket counts, never on arrival order
+// or timing of the readers.
+type Histogram struct {
+	counts   [histBuckets + 1]atomic.Int64 // +1: overflow
+	total    atomic.Int64
+	maxNanos atomic.Int64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := bucketOf(d)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxNanos.Load()
+		if int64(d) <= cur || h.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// bucketOf finds the first bucket whose bound covers d (binary search
+// over the shared bounds; the overflow bucket is histBuckets).
+func bucketOf(d time.Duration) int {
+	lo, hi := 0, histBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= histBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Max returns the largest recorded latency (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNanos.Load()) }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// recorded latencies: the bound of the first bucket whose cumulative
+// count reaches ceil(q * total). The answer errs high by at most one
+// bucket width (25%), which is the honest direction for a latency SLO.
+// Overflow observations answer with the recorded maximum. An empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return histBounds[i]
+		}
+	}
+	return h.Max()
+}
+
+// merge adds other's counts into h. Only the report assembler calls it,
+// after the recording goroutines have been joined.
+func (h *Histogram) merge(other *Histogram) {
+	for i := range other.counts {
+		h.counts[i].Add(other.counts[i].Load())
+	}
+	h.total.Add(other.total.Load())
+	for {
+		cur := h.maxNanos.Load()
+		om := other.maxNanos.Load()
+		if om <= cur || h.maxNanos.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package load
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles records a known multiset and checks the
+// quantile contract: the answer is an upper bound on the true quantile
+// and overshoots by at most one bucket's width (the 25% growth factor).
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1ms..1000ms uniformly, one observation each.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("Max = %v, want 1s", h.Max())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want {
+			t.Errorf("Quantile(%g) = %v underestimates true %v", c.q, got, c.want)
+		}
+		if limit := time.Duration(float64(c.want) * histGrowth); got > limit {
+			t.Errorf("Quantile(%g) = %v overshoots true %v beyond one bucket (%v)", c.q, got, c.want, limit)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// Everything in one bucket: every quantile answers that bucket.
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	if p50, p999 := h.Quantile(0.5), h.Quantile(0.999); p50 != p999 {
+		t.Errorf("single-bucket histogram: p50 %v != p999 %v", p50, p999)
+	}
+	// Overflow observations answer with the exact recorded max.
+	h.Observe(10 * time.Minute)
+	if got := h.Quantile(0.999); got != 10*time.Minute {
+		t.Errorf("overflow Quantile = %v, want 10m", got)
+	}
+	// Negative durations clamp rather than corrupt.
+	h.Observe(-time.Second)
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+}
+
+// TestHistogramDeterministic: quantiles depend only on the recorded
+// multiset, not the interleaving that produced it.
+func TestHistogramDeterministic(t *testing.T) {
+	var a, b Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 1000; i += 8 {
+				a.Observe(time.Duration(i) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 999; i >= 0; i-- {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("Quantile(%g): concurrent %v != sequential %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 500; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		all.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+		all.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var merged Histogram
+	merged.merge(&a)
+	merged.merge(&b)
+	if merged.Count() != all.Count() || merged.Max() != all.Max() {
+		t.Fatalf("merge: count/max %d/%v, want %d/%v", merged.Count(), merged.Max(), all.Count(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != all.Quantile(q) {
+			t.Errorf("merge Quantile(%g) = %v, want %v", q, merged.Quantile(q), all.Quantile(q))
+		}
+	}
+}

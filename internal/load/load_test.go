@@ -1,0 +1,97 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nwforest/internal/service"
+)
+
+// TestRunAgainstLiveService drives the full open-loop engine against a
+// real in-process nwserve: uploads graphs, fires a mixed workload, and
+// checks the report's bookkeeping. The workload knobs (one option
+// seed, few graphs, a rate well above what's needed for repeats) make
+// cache hits certain; individual latencies are timing-dependent but
+// the accounting identities are not.
+func TestRunAgainstLiveService(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close(context.Background())
+	ts := httptest.NewServer(service.NewHTTPHandler(svc))
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:             ts.URL,
+		Rate:                150,
+		Duration:            400 * time.Millisecond,
+		Seed:                1,
+		Graphs:              2,
+		MinVertices:         100,
+		MaxVertices:         400,
+		Forests:             2,
+		ZipfS:               1.1,
+		IncrementalFraction: 0.25,
+		AnytimeFraction:     0.25,
+		AnytimeTimeout:      5 * time.Second, // generous: anytime jobs complete
+		Seeds:               1,
+		DrainTimeout:        30 * time.Second,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tot := rep.Totals
+	if tot.Submitted == 0 {
+		t.Fatal("no jobs submitted")
+	}
+	if tot.Errors != 0 {
+		t.Errorf("%d errors against an idle local server:\n%+v", tot.Errors, rep.Classes)
+	}
+	if tot.Completed == 0 {
+		t.Error("no jobs completed")
+	}
+	if tot.CacheHits == 0 {
+		t.Error("no cache hits despite a single-seed workload with repeats")
+	}
+	if tot.Submitted != tot.Completed+tot.Backpressure+tot.Canceled+tot.Errors {
+		t.Errorf("accounting broken: submitted %d != completed %d + backpressure %d + canceled %d + errors %d",
+			tot.Submitted, tot.Completed, tot.Backpressure, tot.Canceled, tot.Errors)
+	}
+	if tot.Latency.Count != tot.Completed {
+		t.Errorf("latency count %d != completed %d", tot.Latency.Count, tot.Completed)
+	}
+	if rep.Goodput <= 0 {
+		t.Error("goodput not positive")
+	}
+	if rep.Workload != cfg.Signature() {
+		t.Errorf("report workload %q != config signature %q", rep.Workload, cfg.Signature())
+	}
+
+	// The server saw what the client counted: every client-observed
+	// cached completion was a server-side cache hit.
+	st := svc.Stats()
+	if st.Results.Hits < tot.CacheHits {
+		t.Errorf("server counted %d cache hits, client observed %d", st.Results.Hits, tot.CacheHits)
+	}
+}
+
+// TestSignatureStable: the signature is a pure function of the workload
+// knobs and ignores operational ones.
+func TestSignatureStable(t *testing.T) {
+	a := Config{Rate: 5, Duration: time.Second, Seed: 3}
+	b := a
+	b.PollWait = 17 * time.Second
+	b.DrainTimeout = time.Minute
+	if a.Signature() != b.Signature() {
+		t.Errorf("operational knobs changed the signature:\n%s\n%s", a.Signature(), b.Signature())
+	}
+	c := a
+	c.Rate = 6
+	if a.Signature() == c.Signature() {
+		t.Error("changing the rate did not change the signature")
+	}
+}

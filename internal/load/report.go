@@ -1,0 +1,219 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Traffic classes. Every job belongs to exactly one: the class names
+// the request shape, not the outcome (an anytime job that finishes in
+// time still counts under "anytime").
+const (
+	ClassFull        = "full"
+	ClassIncremental = "incremental"
+	ClassAnytime     = "anytime"
+)
+
+// Counters is one class's outcome tally. All fields are written with
+// atomics; a snapshot taken after the workers are joined is exact.
+type Counters struct {
+	// Submitted is how many jobs of the class were fired.
+	Submitted atomic.Int64
+	// Completed jobs reached state "done" (cache hits and anytime
+	// partials included — both are successful responses).
+	Completed atomic.Int64
+	// CacheHits are completions served from the result cache.
+	CacheHits atomic.Int64
+	// Partials are anytime completions carrying a quality bound instead
+	// of the complete decomposition.
+	Partials atomic.Int64
+	// Backpressure counts 503 rejections (queue full). They are the
+	// server shedding load as designed, so they are not Errors.
+	Backpressure atomic.Int64
+	// Canceled jobs hit their deadline without producing a result. For
+	// non-anytime classes this is the expected deadline outcome; for
+	// anytime it means no checkpoint existed yet.
+	Canceled atomic.Int64
+	// Errors are everything that indicates a malfunction: transport
+	// failures, unexpected statuses, jobs ending in state "failed".
+	Errors atomic.Int64
+	// Dropped arrivals were never fired because the in-flight cap was
+	// reached — client-side shedding, reported so a saturated run can't
+	// silently pass as a light one.
+	Dropped atomic.Int64
+}
+
+// Reporter aggregates outcomes from concurrent workers: one Counters
+// and one latency Histogram per traffic class. The zero value is not
+// ready; use NewReporter.
+type Reporter struct {
+	mu      sync.Mutex
+	classes map[string]*classAgg
+}
+
+type classAgg struct {
+	Counters
+	hist Histogram
+}
+
+// NewReporter returns a Reporter with the three standard classes
+// pre-registered (so reports always list them, even at zero traffic).
+func NewReporter() *Reporter {
+	r := &Reporter{classes: make(map[string]*classAgg)}
+	for _, c := range []string{ClassFull, ClassIncremental, ClassAnytime} {
+		r.classes[c] = &classAgg{}
+	}
+	return r
+}
+
+// Class returns the aggregate for the named class, creating it if
+// needed. The returned Counters may be updated from any goroutine.
+func (r *Reporter) Class(name string) *Counters {
+	return &r.agg(name).Counters
+}
+
+// Observe records one completed job's submit-to-terminal latency under
+// the named class.
+func (r *Reporter) Observe(name string, d time.Duration) {
+	r.agg(name).hist.Observe(d)
+}
+
+func (r *Reporter) agg(name string) *classAgg {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.classes[name]
+	if a == nil {
+		a = &classAgg{}
+		r.classes[name] = a
+	}
+	return a
+}
+
+// Quantiles is a latency summary in milliseconds. Quantile values are
+// bucket upper bounds (see Histogram.Quantile); Max is exact.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P99   float64 `json:"p99_ms"`
+	P999  float64 `json:"p999_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+func quantilesOf(h *Histogram) Quantiles {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Quantiles{
+		Count: h.Count(),
+		P50:   ms(h.Quantile(0.50)),
+		P99:   ms(h.Quantile(0.99)),
+		P999:  ms(h.Quantile(0.999)),
+		Max:   ms(h.Max()),
+	}
+}
+
+// ClassReport is one class's (or the totals') outcome tally and latency
+// summary in JSON form.
+type ClassReport struct {
+	Class        string    `json:"class"`
+	Submitted    int64     `json:"submitted"`
+	Completed    int64     `json:"completed"`
+	CacheHits    int64     `json:"cacheHits"`
+	Partials     int64     `json:"partials"`
+	Backpressure int64     `json:"backpressure"`
+	Canceled     int64     `json:"canceled"`
+	Errors       int64     `json:"errors"`
+	Dropped      int64     `json:"dropped"`
+	Latency      Quantiles `json:"latency"`
+}
+
+// Report is nwload's result document ("tool": "nwload" distinguishes it
+// from nwbench's schema-1 files; benchcmp sniffs that field). Two
+// reports are gate-comparable only when their Workload signatures match
+// — identical configs measuring the same thing.
+type Report struct {
+	Schema      int           `json:"schema"`
+	Tool        string        `json:"tool"`
+	Go          string        `json:"go,omitempty"`
+	CPU         string        `json:"cpu,omitempty"`
+	Workload    string        `json:"workload"`
+	DurationSec float64       `json:"durationSec"`
+	Classes     []ClassReport `json:"classes"`
+	Totals      ClassReport   `json:"totals"`
+	// Goodput is completed jobs per second of configured duration —
+	// cache hits and partials count (they are answers), canceled,
+	// errored, shed and dropped jobs do not.
+	Goodput float64 `json:"goodputJobsPerSec"`
+}
+
+// Snapshot assembles the Report. Call it after every worker has been
+// joined; it reads the counters without synchronization beyond their
+// own atomicity.
+func (r *Reporter) Snapshot(workload string, duration time.Duration) *Report {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.classes))
+	for name := range r.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	aggs := make([]*classAgg, len(names))
+	for i, name := range names {
+		aggs[i] = r.classes[name]
+	}
+	r.mu.Unlock()
+
+	rep := &Report{
+		Schema:      1,
+		Tool:        "nwload",
+		Workload:    workload,
+		DurationSec: duration.Seconds(),
+	}
+	var totalHist Histogram
+	totals := ClassReport{Class: "totals"}
+	for i, a := range aggs {
+		cr := ClassReport{
+			Class:        names[i],
+			Submitted:    a.Submitted.Load(),
+			Completed:    a.Completed.Load(),
+			CacheHits:    a.CacheHits.Load(),
+			Partials:     a.Partials.Load(),
+			Backpressure: a.Backpressure.Load(),
+			Canceled:     a.Canceled.Load(),
+			Errors:       a.Errors.Load(),
+			Dropped:      a.Dropped.Load(),
+			Latency:      quantilesOf(&a.hist),
+		}
+		rep.Classes = append(rep.Classes, cr)
+		totals.Submitted += cr.Submitted
+		totals.Completed += cr.Completed
+		totals.CacheHits += cr.CacheHits
+		totals.Partials += cr.Partials
+		totals.Backpressure += cr.Backpressure
+		totals.Canceled += cr.Canceled
+		totals.Errors += cr.Errors
+		totals.Dropped += cr.Dropped
+		totalHist.merge(&a.hist)
+	}
+	totals.Latency = quantilesOf(&totalHist)
+	rep.Totals = totals
+	if duration > 0 {
+		rep.Goodput = float64(totals.Completed) / duration.Seconds()
+	}
+	return rep
+}
+
+// WriteText renders the report as a human-readable table.
+func (rep *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "nwload: %.1fs, goodput %.2f jobs/s\n", rep.DurationSec, rep.Goodput)
+	fmt.Fprintf(w, "%-12s %9s %9s %6s %8s %7s %8s %6s %7s %10s %10s %10s\n",
+		"class", "submitted", "completed", "hits", "partials", "backpr", "canceled", "errors", "dropped",
+		"p50(ms)", "p99(ms)", "p999(ms)")
+	rows := append(append([]ClassReport{}, rep.Classes...), rep.Totals)
+	for _, c := range rows {
+		fmt.Fprintf(w, "%-12s %9d %9d %6d %8d %7d %8d %6d %7d %10.2f %10.2f %10.2f\n",
+			c.Class, c.Submitted, c.Completed, c.CacheHits, c.Partials, c.Backpressure,
+			c.Canceled, c.Errors, c.Dropped, c.Latency.P50, c.Latency.P99, c.Latency.P999)
+	}
+}

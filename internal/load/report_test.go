@@ -1,0 +1,98 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReporterConcurrent hammers one Reporter from many goroutines the
+// way Run's workers do; under -race this is the data-race proof, and
+// the final snapshot must account for every recorded event exactly.
+func TestReporterConcurrent(t *testing.T) {
+	rep := NewReporter()
+	classes := []string{ClassFull, ClassIncremental, ClassAnytime}
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				class := classes[(w+i)%len(classes)]
+				c := rep.Class(class)
+				c.Submitted.Add(1)
+				switch i % 5 {
+				case 0:
+					c.Errors.Add(1)
+				case 1:
+					c.Backpressure.Add(1)
+				default:
+					c.Completed.Add(1)
+					rep.Observe(class, time.Duration(i+1)*time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := rep.Snapshot("sig", time.Second)
+	const total = workers * perWorker
+	if got.Totals.Submitted != total {
+		t.Errorf("totals.submitted = %d, want %d", got.Totals.Submitted, total)
+	}
+	wantCompleted := int64(0)
+	for _, c := range got.Classes {
+		wantCompleted += c.Completed
+		if c.Submitted != c.Completed+c.Errors+c.Backpressure {
+			t.Errorf("class %s: submitted %d != completed %d + errors %d + backpressure %d",
+				c.Class, c.Submitted, c.Completed, c.Errors, c.Backpressure)
+		}
+		if c.Latency.Count != c.Completed {
+			t.Errorf("class %s: latency count %d != completed %d", c.Class, c.Latency.Count, c.Completed)
+		}
+	}
+	if got.Totals.Completed != wantCompleted {
+		t.Errorf("totals.completed = %d, want %d", got.Totals.Completed, wantCompleted)
+	}
+	if got.Totals.Latency.Count != wantCompleted {
+		t.Errorf("totals latency count = %d, want %d", got.Totals.Latency.Count, wantCompleted)
+	}
+	if got.Goodput != float64(wantCompleted) {
+		t.Errorf("goodput = %g, want %g over 1s", got.Goodput, float64(wantCompleted))
+	}
+}
+
+// TestReportShape checks the JSON contract benchcmp relies on: schema,
+// the "nwload" tool marker, the workload signature, and the three
+// standard classes present even with zero traffic.
+func TestReportShape(t *testing.T) {
+	rep := NewReporter().Snapshot("rate=1,dur=1s", 2*time.Second)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != 1 || back.Tool != "nwload" || back.Workload != "rate=1,dur=1s" {
+		t.Fatalf("bad report header: %+v", back)
+	}
+	if len(back.Classes) != 3 {
+		t.Fatalf("got %d classes, want the 3 standard ones", len(back.Classes))
+	}
+	for i, want := range []string{ClassAnytime, ClassFull, ClassIncremental} {
+		if back.Classes[i].Class != want {
+			t.Errorf("class %d = %q, want %q (sorted order)", i, back.Classes[i].Class, want)
+		}
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "totals") {
+		t.Errorf("text report missing totals row:\n%s", buf.String())
+	}
+}

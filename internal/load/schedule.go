@@ -1,0 +1,42 @@
+// Package load is the open-loop workload engine behind cmd/nwload: it
+// fires jobs at a live nwserve on a precomputed Poisson arrival
+// schedule, independent of how fast the server answers, and reports
+// latency quantiles, goodput and failure counts per traffic class.
+//
+// Everything random is driven by nwforest's splittable rng, so a fixed
+// seed reproduces the exact arrival times, graph choices and job mixes
+// bit for bit — a load run is a deterministic function of (config,
+// server behavior), which is what makes two runs comparable.
+package load
+
+import (
+	"time"
+
+	"nwforest/internal/rng"
+)
+
+// Arrivals returns the open-loop arrival schedule: offsets from the run
+// start at which jobs are fired, drawn from a Poisson process with the
+// given rate (jobs/second) and truncated at duration. The schedule is a
+// pure function of (rate, duration, seed).
+//
+// Open loop means the schedule never reacts to the server: a slow
+// response does not delay later arrivals, which is the property that
+// lets the generator expose saturation instead of hiding it behind
+// client-side backpressure.
+func Arrivals(rate float64, duration time.Duration, seed uint64) []time.Duration {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	src := rng.New(seed).Split(0x6172726976616c73) // "arrivals"
+	var out []time.Duration
+	t := 0.0
+	for {
+		t += src.Exp(rate)
+		d := time.Duration(t * float64(time.Second))
+		if d >= duration {
+			return out
+		}
+		out = append(out, d)
+	}
+}

@@ -1,0 +1,69 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestArrivalsGolden pins the exact schedule for a fixed seed: any
+// change to the rng pipeline that would silently alter every "same
+// seed" comparison shows up here as a diff, not as mysteriously
+// incomparable load reports.
+func TestArrivalsGolden(t *testing.T) {
+	arr := Arrivals(100, time.Second, 1)
+	if len(arr) != 88 {
+		t.Fatalf("Arrivals(100, 1s, 1) produced %d arrivals, want 88", len(arr))
+	}
+	want := []time.Duration{7517650, 9312487, 49306777, 70103310, 73848378}
+	for i, w := range want {
+		if arr[i] != w {
+			t.Errorf("arrival %d = %d, want %d", i, arr[i], w)
+		}
+	}
+}
+
+func TestArrivalsDeterministicAndOrdered(t *testing.T) {
+	a := Arrivals(50, 2*time.Second, 7)
+	b := Arrivals(50, 2*time.Second, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (rate, duration, seed) produced different schedules")
+	}
+	c := Arrivals(50, 2*time.Second, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	last := time.Duration(-1)
+	for i, at := range a {
+		if at <= last {
+			t.Fatalf("arrival %d = %v not after previous %v", i, at, last)
+		}
+		if at >= 2*time.Second {
+			t.Fatalf("arrival %d = %v beyond the duration", i, at)
+		}
+		last = at
+	}
+}
+
+// TestArrivalsRate checks the law of large numbers end of the contract:
+// over a long horizon the empirical rate converges on the configured
+// one.
+func TestArrivalsRate(t *testing.T) {
+	const rate, seconds = 200.0, 50
+	n := len(Arrivals(rate, seconds*time.Second, 3))
+	want := rate * seconds
+	// 5 sigma for a Poisson(10000) count is ~500.
+	if math.Abs(float64(n)-want) > 500 {
+		t.Fatalf("got %d arrivals, want %g +- 500", n, want)
+	}
+}
+
+func TestArrivalsDegenerate(t *testing.T) {
+	if got := Arrivals(0, time.Second, 1); got != nil {
+		t.Errorf("rate 0: got %v, want nil", got)
+	}
+	if got := Arrivals(10, 0, 1); got != nil {
+		t.Errorf("duration 0: got %v, want nil", got)
+	}
+}

@@ -1,0 +1,49 @@
+package load
+
+import (
+	"math"
+	"sort"
+
+	"nwforest/internal/rng"
+)
+
+// Zipf draws ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. Rank 0 is the hottest; s = 0 degenerates to uniform.
+// Draws consume exactly one Float64 from the source, so a schedule of
+// draws is reproducible from the seed alone.
+//
+// nwload maps rank 0 to the largest generated graph: the most popular
+// graph is also the most expensive one, which keeps the result cache
+// honest (hot entries are the ones worth caching) and guarantees the
+// anytime deadline actually fires mid-run on the hot path.
+type Zipf struct {
+	cum []float64 // cumulative probabilities; cum[n-1] == 1
+}
+
+// NewZipf precomputes the cumulative distribution for n ranks with
+// exponent s >= 0. It panics if n < 1 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		panic("load: Zipf needs n >= 1")
+	}
+	if s < 0 {
+		panic("load: Zipf needs s >= 0")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := range cum {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // exact, independent of rounding
+	return &Zipf{cum: cum}
+}
+
+// Draw returns the next rank using one uniform draw from src.
+func (z *Zipf) Draw(src *rng.Source) int {
+	u := src.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}

@@ -1,0 +1,74 @@
+package load
+
+import (
+	"testing"
+
+	"nwforest/internal/rng"
+)
+
+// TestZipfGolden pins the draw sequence for a fixed source, the other
+// half of the "fixed seed => bit-identical workload" contract.
+func TestZipfGolden(t *testing.T) {
+	z := NewZipf(8, 1.1)
+	src := rng.New(42).Split(9)
+	want := []int{5, 2, 0, 0, 2, 2, 1, 5, 2, 6, 0, 0}
+	for i, w := range want {
+		if got := z.Draw(src); got != w {
+			t.Errorf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(16, 0.9), NewZipf(16, 0.9)
+	sa, sb := rng.New(5).Split(1), rng.New(5).Split(1)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Draw(sa), b.Draw(sb); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfSkew checks the distribution does what the popularity knob
+// promises: rank 0 is drawn most often, frequencies are non-increasing
+// in rank (within sampling noise), and s=0 is near uniform.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 8, 100000
+	count := func(s float64) [n]int {
+		z := NewZipf(n, s)
+		src := rng.New(11).Split(2)
+		var c [n]int
+		for i := 0; i < draws; i++ {
+			c[z.Draw(src)]++
+		}
+		return c
+	}
+
+	skewed := count(1.2)
+	for r := 1; r < n; r++ {
+		// True Zipf frequencies are strictly decreasing; allow noise.
+		if skewed[r] > skewed[r-1]+draws/100 {
+			t.Errorf("s=1.2: rank %d drawn %d times > rank %d's %d", r, skewed[r], r-1, skewed[r-1])
+		}
+	}
+	if skewed[0] < 2*skewed[n-1] {
+		t.Errorf("s=1.2: rank 0 (%d) not clearly hotter than rank %d (%d)", skewed[0], n-1, skewed[n-1])
+	}
+
+	uniform := count(0)
+	for r := 0; r < n; r++ {
+		if uniform[r] < draws/n*8/10 || uniform[r] > draws/n*12/10 {
+			t.Errorf("s=0: rank %d drawn %d times, want ~%d", r, uniform[r], draws/n)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(3, 2)
+	src := rng.New(99)
+	for i := 0; i < 10000; i++ {
+		if r := z.Draw(src); r < 0 || r >= 3 {
+			t.Fatalf("draw %d out of range: %d", i, r)
+		}
+	}
+}

@@ -39,7 +39,11 @@ const maxUploadBytes = 256 << 20
 //	                        of guessing it
 //	POST   /jobs            submit a JobSpec; 200 + done job on a cache
 //	                        hit, 202 + queued job otherwise, 503 when the
-//	                        queue is full
+//	                        queue is full. "anytime": true (anytime-capable
+//	                        algorithms, mode full) makes a mid-run deadline
+//	                        serve the best phase-boundary checkpoint as a
+//	                        200 partial result (result.anytime carries its
+//	                        quality bound) instead of canceling the job
 //	GET    /jobs            list retained jobs
 //	GET    /jobs/{id}       poll a job; ?wait=5s blocks until it finishes
 //	                        or the duration elapses

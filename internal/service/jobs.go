@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 
@@ -57,6 +58,15 @@ type JobSpec struct {
 	// decompositions of the same graph but generally use different colors
 	// than a full run, so Mode is part of the cache identity.
 	Mode string `json:"mode,omitempty"`
+	// Anytime (anytime-capable algorithms only, mode full) turns the
+	// job's deadline from a failure into a quality trade-off: when the
+	// deadline fires mid-run the job completes with the best
+	// phase-boundary checkpoint as a partial result (Result.Anytime
+	// carries its quality bound) instead of being canceled. A job that
+	// finishes in time returns the bit-identical complete result, which
+	// is why Anytime is not part of the cache key; partial results are
+	// cached under a key qualified with their quality bound.
+	Anytime bool `json:"anytime,omitempty"`
 }
 
 // ModeIncremental is the JobSpec.Mode value requesting warm-start repair.
@@ -70,6 +80,7 @@ func (sp JobSpec) request() algo.Request {
 		Options:     sp.Options,
 		AlphaStar:   sp.AlphaStar,
 		PaletteSize: sp.PaletteSize,
+		Anytime:     sp.Anytime,
 	}
 }
 
@@ -98,6 +109,25 @@ func (sp JobSpec) effectiveMode() string {
 // valid.
 func (sp JobSpec) CacheKey() string {
 	return sp.GraphID + "|" + algo.CacheKey(sp.request()) + ",mode=" + sp.effectiveMode()
+}
+
+// partialCacheKey keys a partial anytime result by its quality bound:
+// partial and complete entries never collide, and partials of different
+// quality never overwrite each other. Submit only ever consults the
+// plain CacheKey — a complete result satisfies an anytime request, but a
+// cached partial must never mask a fresh (possibly complete) run.
+func (sp JobSpec) partialCacheKey(bound int) string {
+	return sp.CacheKey() + ",anytime-partial=" + strconv.Itoa(bound)
+}
+
+// inflightKey keys the in-flight dedup map. Anytime jobs never share a
+// leader with non-anytime jobs: their deadline outcomes differ (one
+// side's partial result or cancellation would be wrong for the other).
+func (sp JobSpec) inflightKey() string {
+	if sp.Anytime {
+		return sp.CacheKey() + ",anytime"
+	}
+	return sp.CacheKey()
 }
 
 // JobResult is the output of a completed job: the registry's Result —
@@ -213,6 +243,11 @@ func (j *Job) tryStart(now time.Time) bool {
 func (j *Job) finish(now time.Time, state JobState, res *JobResult, errMsg string, cached bool) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.finishLocked(now, state, res, errMsg, cached)
+}
+
+// finishLocked is finish with j.mu already held.
+func (j *Job) finishLocked(now time.Time, state JobState, res *JobResult, errMsg string, cached bool) bool {
 	if j.state.terminal() {
 		return false
 	}
@@ -227,6 +262,20 @@ func (j *Job) finish(now time.Time, state JobState, res *JobResult, errMsg strin
 	close(j.done)
 	j.cancel() // release the context's resources
 	return true
+}
+
+// cancelIfQueued moves a job that is still waiting in the queue to
+// JobCanceled; a running job is left untouched (the anytime path lets
+// the worker turn a mid-run deadline into a partial result instead).
+// The state check and the transition are atomic under j.mu, so it can
+// never race tryStart into canceling a job a worker just claimed.
+func (j *Job) cancelIfQueued(now time.Time, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	return j.finishLocked(now, JobCanceled, nil, errMsg, false)
 }
 
 // Cancel requests cancellation: queued and running jobs move to

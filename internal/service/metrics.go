@@ -64,6 +64,14 @@ func (s *Service) initMetrics() {
 		"Submissions attached to an identical in-flight job.", func() float64 {
 			return float64(stat().Dedups)
 		})
+	r.Counter("nwserve_anytime_jobs_total",
+		"Anytime-mode job submissions accepted.", func() float64 {
+			return float64(stat().Anytime.Jobs)
+		})
+	r.Counter("nwserve_anytime_partials_total",
+		"Deadline-interrupted anytime jobs served a checkpoint (partial) result.", func() float64 {
+			return float64(stat().Anytime.Partials)
+		})
 	r.Gauge("nwserve_retained_result_bytes",
 		"Approximate memory pinned by finished jobs still pollable.", func() float64 {
 			return float64(stat().RetainedResultBytes)

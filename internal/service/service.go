@@ -74,6 +74,13 @@ type Config struct {
 	// DefaultTimeout applies to jobs that do not set TimeoutMillis
 	// (default 0 = no deadline).
 	DefaultTimeout time.Duration
+	// AnytimeGrace bounds how long a worker waits, after an anytime job's
+	// deadline fires, for the algorithm to surface its best checkpoint
+	// (the run aborts at the next per-round or per-cluster context check,
+	// so the wait is normally milliseconds; the grace only matters inside
+	// the few non-preemptible stretches). Beyond it the job is canceled
+	// like a non-anytime job (default 5s).
+	AnytimeGrace time.Duration
 	// DataDir, when non-empty, enables the durability tier
 	// (internal/persist): every ingested graph and computed result is
 	// written through to this directory before the request is
@@ -140,6 +147,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 5 * time.Minute
+	}
+	if c.AnytimeGrace <= 0 {
+		c.AnytimeGrace = 5 * time.Second
 	}
 	if c.TraceCapacity <= 0 {
 		c.TraceCapacity = 512
@@ -243,6 +253,12 @@ type Service struct {
 	finished      []finishedRec   // finish order, for retention pruning
 	retainedBytes int64
 	dedups        int64
+
+	// anytimeJobs counts accepted anytime-mode submissions;
+	// anytimePartials counts deadline-interrupted jobs that served a
+	// checkpoint. Atomics: partials are bumped on worker goroutines.
+	anytimeJobs     atomic.Int64
+	anytimePartials atomic.Int64
 
 	// execHook replaces algorithm execution in tests (e.g. to block until
 	// cancellation); nil in production.
@@ -530,8 +546,11 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	}
 	j.hub.publish(JobEvent{Type: "state", State: JobQueued})
 
-	key := spec.CacheKey()
-	if res, ok := s.cache.get(key); ok {
+	// The cache is consulted under the complete-result key even for
+	// anytime jobs: a complete result always satisfies an anytime request,
+	// while cached partials (keyed with their quality bound) are never
+	// served in place of a fresh run.
+	if res, ok := s.cache.get(spec.CacheKey()); ok {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -557,7 +576,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	// outcome instead of recomputing. Followers are still backpressured:
 	// each costs a Job plus two goroutines, so without a cap a client
 	// hammering one slow computation could pile them up without ever
-	// seeing a 503.
+	// seeing a 503. Anytime and non-anytime jobs dedup separately
+	// (inflightKey), since their deadline outcomes differ.
+	key := spec.inflightKey()
 	if leader, ok := s.inflight[key]; ok && !leader.State().terminal() {
 		if s.followers >= s.cfg.QueueDepth {
 			s.mu.Unlock()
@@ -624,10 +645,23 @@ func (s *Service) follow(j, leader *Job) {
 // while it still sits in the queue, so deadlines are reflected promptly
 // rather than at the next worker pop. The goroutine exits when the job
 // reaches a terminal state by any path.
+//
+// A running anytime leader is exempt: its deadline belongs to runJob,
+// which waits (up to Config.AnytimeGrace) for the algorithm's best
+// checkpoint and completes the job with a partial result. Anytime jobs
+// still waiting in the queue have no checkpoint to serve and are
+// canceled like any other; so are anytime followers, whose leader owns
+// the computation.
 func (s *Service) watch(j *Job) {
 	go func() {
 		select {
 		case <-j.ctx.Done():
+			if j.spec.Anytime && !j.follower {
+				if j.cancelIfQueued(time.Now(), j.ctx.Err().Error()) {
+					s.pruneFinished(j)
+				}
+				return
+			}
 			if j.finish(time.Now(), JobCanceled, nil, j.ctx.Err().Error(), false) {
 				s.pruneFinished(j)
 			}
@@ -644,6 +678,9 @@ func (s *Service) register(j *Job) {
 	j.id = "j-" + strconv.FormatInt(s.nextID, 10)
 	if s.traces != nil {
 		j.rec = trace.NewRecorder(j.id, j.created, s.cfg.TraceRoundEvery)
+	}
+	if j.spec.Anytime {
+		s.anytimeJobs.Add(1)
 	}
 	s.jobs[j.id] = j
 }
@@ -747,8 +784,7 @@ func (s *Service) runJob(j *Job) {
 		ch <- outcome{res, err}
 	}()
 	finished := false
-	select {
-	case out := <-ch:
+	handle := func(out outcome) {
 		switch {
 		case out.err != nil && (errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded)):
 			// The algorithm observed the job context and aborted mid-phase:
@@ -756,14 +792,44 @@ func (s *Service) runJob(j *Job) {
 			finished = j.finish(time.Now(), JobCanceled, nil, out.err.Error(), false)
 		case out.err != nil:
 			finished = j.finish(time.Now(), JobFailed, nil, out.err.Error(), false)
+		case out.res.Anytime != nil && out.res.Anytime.Partial:
+			// A deadline-interrupted anytime run served its best
+			// checkpoint: cache it under the quality-qualified key — never
+			// the complete key, where it would mask a full-quality result.
+			key := j.spec.partialCacheKey(out.res.Anytime.ColorsUsed)
+			s.anytimePartials.Add(1)
+			s.cache.put(key, out.res)
+			s.persistResult(key, out.res)
+			s.observeJobDuration(j.spec.Algorithm, time.Since(started))
+			finished = j.finish(time.Now(), JobDone, out.res, "", false)
 		default:
 			s.cache.put(j.spec.CacheKey(), out.res)
 			s.persistResult(j.spec.CacheKey(), out.res)
 			s.observeJobDuration(j.spec.Algorithm, time.Since(started))
 			finished = j.finish(time.Now(), JobDone, out.res, "", false)
 		}
+	}
+	select {
+	case out := <-ch:
+		handle(out)
 	case <-j.ctx.Done():
-		finished = j.finish(time.Now(), JobCanceled, nil, j.ctx.Err().Error(), false)
+		if j.spec.Anytime {
+			// The deadline fired mid-run: give the algorithm a short grace
+			// to abort at its next context check and surface the best
+			// checkpoint as a partial result. The watch goroutine leaves
+			// running anytime jobs to this path.
+			grace := time.NewTimer(s.cfg.AnytimeGrace)
+			select {
+			case out := <-ch:
+				grace.Stop()
+				handle(out)
+			case <-grace.C:
+				finished = j.finish(time.Now(), JobCanceled, nil,
+					j.ctx.Err().Error()+" (no anytime checkpoint within grace)", false)
+			}
+		} else {
+			finished = j.finish(time.Now(), JobCanceled, nil, j.ctx.Err().Error(), false)
+		}
 	}
 	if finished {
 		s.pruneFinished(j)
@@ -843,8 +909,8 @@ func (s *Service) pruneFinished(j *Job) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.inflight[j.spec.CacheKey()] == j {
-		delete(s.inflight, j.spec.CacheKey())
+	if s.inflight[j.spec.inflightKey()] == j {
+		delete(s.inflight, j.spec.inflightKey())
 	}
 	if j.follower {
 		s.followers--
@@ -1082,6 +1148,11 @@ func (sp JobSpec) validate() error {
 		if d, ok := algo.Lookup(sp.Algorithm); !ok || !d.Caps.Incremental {
 			return fmt.Errorf("service: mode %q is not supported for algorithm %q", ModeIncremental, sp.Algorithm)
 		}
+		if sp.Anytime {
+			// Incremental repair is not phase-checkpointed; the combination
+			// would silently degrade to all-or-nothing.
+			return fmt.Errorf("service: anytime is not supported with mode %q", ModeIncremental)
+		}
 	default:
 		return fmt.Errorf("service: unknown mode %q (want \"\", \"full\" or %q)", sp.Mode, ModeIncremental)
 	}
@@ -1101,6 +1172,9 @@ type Stats struct {
 	// Dedups counts submissions that attached to an identical in-flight
 	// job instead of recomputing.
 	Dedups int64 `json:"dedups"`
+	// Anytime counts anytime-mode submissions and the partial
+	// (deadline-interrupted) checkpoint results served for them.
+	Anytime AnytimeStats `json:"anytime"`
 	// RetainedResultBytes is the approximate memory pinned by finished
 	// jobs still pollable.
 	RetainedResultBytes int64      `json:"retainedResultBytes"`
@@ -1115,6 +1189,15 @@ type Stats struct {
 	// Open reconstructed from disk; both are nil when persistence is off.
 	Persist  *persist.Stats `json:"persist,omitempty"`
 	Recovery *RecoveryInfo  `json:"recovery,omitempty"`
+}
+
+// AnytimeStats counts the anytime serving path.
+type AnytimeStats struct {
+	// Jobs is the number of accepted anytime-mode submissions.
+	Jobs int64 `json:"jobs"`
+	// Partials is the number of deadline-interrupted anytime jobs that
+	// completed with a checkpoint (partial) result.
+	Partials int64 `json:"partials"`
 }
 
 // Stats returns a snapshot of the service's counters.
@@ -1132,6 +1215,7 @@ func (s *Service) Stats() Stats {
 		QueueCap:            cap(s.queue),
 		Jobs:                byState,
 		Dedups:              dedups,
+		Anytime:             AnytimeStats{Jobs: s.anytimeJobs.Load(), Partials: s.anytimePartials.Load()},
 		RetainedResultBytes: retained,
 		Store:               s.store.Stats(),
 		Results:             s.cache.stats(),
