@@ -12,6 +12,10 @@
 // understands (it gates latency quantiles and goodput the way it gates
 // ns/op for nwbench files).
 //
+// -addr also takes a comma-separated list of base URLs; arrivals then
+// round-robin across them (the way to drive a cluster-mode fleet) and
+// the report gains a per-target error/latency breakdown.
+//
 // Usage:
 //
 //	nwload -addr http://127.0.0.1:8080 -rate 20 -duration 30s \
@@ -35,7 +39,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the nwserve instance")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the nwserve instance; comma-separate several to round-robin a fleet")
 	rate := flag.Float64("rate", 10, "open-loop arrival rate, jobs/second")
 	duration := flag.Duration("duration", 30*time.Second, "how long to generate arrivals for")
 	seed := flag.Uint64("seed", 1, "workload seed (arrivals, mixes, popularity)")
@@ -57,7 +61,7 @@ func main() {
 	flag.Parse()
 
 	cfg := load.Config{
-		BaseURL:             *addr,
+		Targets:             strings.Split(*addr, ","),
 		Rate:                *rate,
 		Duration:            *duration,
 		Seed:                *seed,

@@ -24,6 +24,14 @@
 // written through to disk (WAL + periodic snapshots) and recovered on
 // the next start, including after a crash.
 //
+// -node-id and -peers turn N daemons into one fleet: a consistent-hash
+// ring routes each content-addressed graph to an owner node, uploads
+// replicate to the owner, jobs are answered from the owner's result
+// cache or computed there, and a dead peer degrades to local compute
+// instead of a client-visible error. Every node serves GET
+// /cluster/stats with a gossiped fleet-wide view. See the README's
+// "Cluster" section for a 3-node walkthrough.
+//
 // The actual listen address is printed to stdout as
 // "nwserve: listening on http://HOST:PORT" (useful with -addr :0), and
 // SIGINT/SIGTERM trigger a graceful drain before exit. Structured logs
@@ -52,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"nwforest/internal/cluster"
 	"nwforest/internal/service"
 	"nwforest/internal/telemetry"
 )
@@ -78,6 +87,10 @@ func main() {
 	tracing := flag.Bool("trace", true, "record a span trace per job, served at GET /jobs/{id}/trace")
 	traceRounds := flag.Int("trace-rounds", 0, "sample every Nth engine round into traces as instant events (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	nodeID := flag.String("node-id", "", "this node's fleet identity; enables cluster mode (requires -peers)")
+	peersFlag := flag.String("peers", "", "full fleet membership incl. self: id=http://host:port,... (same value on every node)")
+	gossipInterval := flag.Duration("gossip-interval", 2*time.Second, "fleet stats gossip cadence (cluster mode)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "peer health probe cadence (cluster mode)")
 	flag.Parse()
 
 	var logDst io.Writer = os.Stderr
@@ -157,6 +170,35 @@ func main() {
 			"corrupt", rec.Corrupt)
 	}
 
+	// Cluster mode: -node-id joins this process to the fleet named by
+	// -peers (the same full membership list, self included, on every
+	// node; the self entry carries this node's advertised address).
+	// Without -node-id the daemon runs exactly as before.
+	var clu *cluster.Cluster
+	if *nodeID != "" {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fatal(err)
+		}
+		clu, err = cluster.New(cluster.Config{
+			NodeID:         *nodeID,
+			Peers:          peers,
+			GossipInterval: *gossipInterval,
+			HealthInterval: *healthInterval,
+			Logger:         logger,
+			SelfStats:      svc.StatsSummary,
+			Ready:          svc.Ready,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		svc.AttachCluster(clu)
+		fmt.Printf("nwserve: cluster node %s, %d peer(s), ring %s\n",
+			*nodeID, len(peers)-1, clu.NodeInfo().RingVersion)
+	} else if *peersFlag != "" {
+		fatal(errors.New("-peers requires -node-id"))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -169,6 +211,9 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.Serve(ln) }()
+	if clu != nil {
+		clu.Start()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,6 +224,10 @@ func main() {
 		fatal(err)
 	}
 
+	// Drain first: /readyz and /peer/ping flip to 503, so load balancers
+	// and fleet peers route new work elsewhere while the stages below
+	// finish what is already here.
+	svc.StartDrain()
 	// Each shutdown stage gets its own drain budget: a long-poll client
 	// exhausting the HTTP stage's budget must not leave the worker drain
 	// with an already-expired context.
@@ -186,6 +235,9 @@ func main() {
 	defer cancelHTTP()
 	if err := server.Shutdown(httpCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "nwserve: http shutdown:", err)
+	}
+	if clu != nil {
+		clu.Stop()
 	}
 	svcCtx, cancelSvc := context.WithTimeout(context.Background(), *drain)
 	defer cancelSvc()

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePeers parses the nwserve -peers flag value: a comma-separated
+// list of id=baseURL entries naming the full fleet, self included, e.g.
+//
+//	a=http://127.0.0.1:7101,b=http://127.0.0.1:7102,c=http://127.0.0.1:7103
+//
+// Every node is started with the same value so all rings agree.
+func ParsePeers(s string) ([]Peer, error) {
+	var out []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer entry %q, want id=http://host:port", part)
+		}
+		if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+			return nil, fmt.Errorf("cluster: peer %s: addr %q must start with http:// or https://", id, addr)
+		}
+		out = append(out, Peer{ID: strings.TrimSpace(id), Addr: strings.TrimSpace(addr)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: -peers lists no members")
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package cluster turns N independent nwserve processes into one fleet.
+// It owns the pieces that need no knowledge of the serving stack: a
+// consistent-hash ring mapping content-addressed graph IDs to an owner
+// node (virtual nodes, minimal key movement on membership change), a
+// peer health checker, a coordinator-free gossip of per-node stats
+// snapshots, and the HTTP client side of the /peer/... protocol. The
+// serving-side integration — forwarding, peer cache fill, the /peer/...
+// handlers that touch the store and result cache — lives in
+// internal/service, which imports this package (never the reverse).
+//
+// The fleet needs no coordination protocol beyond hashing because the
+// serving layer is content-addressed and bit-deterministic: any node
+// computing the same job produces identical bytes, so a result fetched
+// from a peer is interchangeable with a local computation, and the only
+// state the ring routes on is the SHA-256 graph ID the client already
+// holds.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count used when a
+// Ring is built with vnodes <= 0. 128 points per node keeps the maximum
+// per-node share within a few tens of percent of the mean for small
+// fleets (see TestRingBalance for the enforced bound).
+const DefaultVirtualNodes = 128
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int32 // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over a set of node IDs.
+// Each node contributes vnodes points at pseudo-random positions
+// (SHA-256 of "id#i"), and a key is owned by the node whose point
+// follows the key's hash clockwise. Because points are a pure function
+// of the node ID, adding or removing one node moves only the keys whose
+// owning arc that node's points cover — on average K/N of K keys for an
+// N-node ring — and every moved key moves to or from the changed node,
+// never between two unchanged nodes (asserted by TestRingMinimalMovement).
+type Ring struct {
+	nodes   []string
+	points  []ringPoint
+	version string
+}
+
+// NewRing builds a ring over the given node IDs (deduplicated, order
+// irrelevant — membership is a set). vnodes <= 0 selects
+// DefaultVirtualNodes. An empty membership yields a ring whose Owner
+// returns "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(n, v), node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual points is astronomically
+		// unlikely; break it by node index so the ring is deterministic
+		// anyway.
+		return r.points[i].node < r.points[j].node
+	})
+
+	h := sha256.New()
+	for _, n := range uniq {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(strconv.Itoa(vnodes)))
+	sum := h.Sum(nil)
+	r.version = hex.EncodeToString(sum[:8])
+	return r
+}
+
+// pointHash positions virtual point v of a node on the circle.
+func pointHash(node string, v int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// keyHash positions a key on the circle. Keys are typically
+// "sha256:..." graph IDs, but any string works.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Version identifies the membership (node set + vnode count): two nodes
+// configured with the same fleet compute the same version, so a mismatch
+// visible in gossip or /stats flags a configuration split.
+func (r *Ring) Version() string { return r.version }
+
+// Owner returns the node that owns key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.nodes[r.points[r.search(keyHash(key))].node]
+}
+
+// Successors returns up to max distinct nodes in ring order starting at
+// the key's owner. The second entry is the routing fallback when the
+// owner is down, and so on; max >= len(nodes) returns every node.
+func (r *Ring) Successors(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[int32]bool, max)
+	start := r.search(keyHash(key))
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise-after h,
+// wrapping to 0 past the last point.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates a deterministic key population shaped like real
+// traffic: content-addressed IDs are themselves hashes, so hashing a
+// sequential counter models them exactly.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+// TestRingBalance checks key distribution across N nodes stays within
+// ±35% of the ideal share at the default vnode count. The bound is the
+// contract documented in ARCHITECTURE.md; tighten it only alongside a
+// vnode-count increase.
+func TestRingBalance(t *testing.T) {
+	const nKeys = 20000
+	keys := testKeys(nKeys)
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(nodeNames(n), 0)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		mean := float64(nKeys) / float64(n)
+		for node, c := range counts {
+			ratio := float64(c) / mean
+			if ratio < 0.65 || ratio > 1.35 {
+				t.Errorf("n=%d: %s owns %d keys (%.2fx mean), outside [0.65, 1.35]", n, node, c, ratio)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement asserts the consistent-hashing contract on a
+// single join and a single leave: every key that changes owner moves to
+// (join) or from (leave) the changed node — no shuffling between
+// unchanged nodes — and the moved fraction stays near K/N.
+func TestRingMinimalMovement(t *testing.T) {
+	const nKeys = 20000
+	keys := testKeys(nKeys)
+	for _, n := range []int{3, 5, 8} {
+		nodes := nodeNames(n)
+		before := NewRing(nodes, 0)
+		joined := fmt.Sprintf("node-%d", n)
+		after := NewRing(append(append([]string{}, nodes...), joined), 0)
+
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Owner(k), after.Owner(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != joined {
+				t.Fatalf("n=%d join: key moved %s -> %s, neither is the joined node", n, was, is)
+			}
+		}
+		ideal := float64(nKeys) / float64(n+1)
+		if f := float64(moved); f > 1.5*ideal {
+			t.Errorf("n=%d join: moved %d keys, > 1.5x ideal %.0f", n, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d join: no keys moved to the new node", n)
+		}
+
+		// Leave is the mirror image: removing the node we just added must
+		// send exactly its keys back to their previous owners.
+		for _, k := range keys {
+			was, is := after.Owner(k), before.Owner(k)
+			if was == is {
+				continue
+			}
+			if was != joined {
+				t.Fatalf("n=%d leave: key moved %s -> %s, but only %s left", n, was, is, joined)
+			}
+		}
+	}
+}
+
+// TestRingDeterministic pins that membership order and duplicates don't
+// change the ring: every node must compute the identical mapping from
+// its own copy of the -peers flag.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"}, 64)
+	b := NewRing([]string{"c", "a", "b", "a", ""}, 64)
+	if a.Version() != b.Version() {
+		t.Fatalf("version differs: %s vs %s", a.Version(), b.Version())
+	}
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner differs for %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if v := NewRing([]string{"a", "b"}, 64).Version(); v == a.Version() {
+		t.Fatal("different membership produced the same version")
+	}
+	if v := NewRing([]string{"a", "b", "c"}, 32).Version(); v == a.Version() {
+		t.Fatal("different vnode count produced the same version")
+	}
+}
+
+// TestRingSuccessors pins the failover order contract: the first
+// successor is the owner, entries are distinct, and asking for more
+// nodes than exist returns them all.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	for _, k := range testKeys(200) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("want all 3 nodes, got %v", succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("first successor %s != owner %s", succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate node in successors: %v", succ)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 1); len(got) != 1 || got[0] != r.Owner("k") {
+		t.Fatalf("Successors(k,1) = %v, want [owner]", got)
+	}
+	var empty Ring
+	if got := empty.Successors("k", 2); got != nil {
+		t.Fatalf("empty ring successors = %v, want nil", got)
+	}
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}

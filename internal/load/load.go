@@ -23,6 +23,11 @@ import (
 type Config struct {
 	// BaseURL is the nwserve root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when set, lists every nwserve base URL the run
+	// round-robins arrivals across — the way nwload drives a fleet.
+	// Empty means the single-target run [BaseURL]; BaseURL may be left
+	// empty when Targets is set (the first target stands in for it).
+	Targets []string
 	// Rate is the open-loop arrival rate in jobs/second.
 	Rate float64
 	// Duration is how long arrivals are generated for.
@@ -119,6 +124,19 @@ func (c *Config) withDefaults() Config {
 		cfg.Logf = func(string, ...any) {}
 	}
 	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	ts := make([]string, 0, len(cfg.Targets))
+	for _, t := range cfg.Targets {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			ts = append(ts, t)
+		}
+	}
+	if len(ts) == 0 {
+		ts = []string{cfg.BaseURL}
+	}
+	cfg.Targets = ts
+	if cfg.BaseURL == "" {
+		cfg.BaseURL = ts[0]
+	}
 	return cfg
 }
 
@@ -127,11 +145,19 @@ func (c *Config) withDefaults() Config {
 // logging) that do not change what is being measured.
 func (c *Config) Signature() string {
 	cfg := c.withDefaults()
-	return fmt.Sprintf(
+	sig := fmt.Sprintf(
 		"rate=%g,dur=%s,seed=%d,graphs=%d,minN=%d,maxN=%d,forests=%d,zipf=%g,incr=%g,anytime=%g,anytimeTimeout=%s,alpha=%d,eps=%g,seeds=%d,maxInFlight=%d,algorithm=decompose",
 		cfg.Rate, cfg.Duration, cfg.Seed, cfg.Graphs, cfg.MinVertices, cfg.MaxVertices,
 		cfg.Forests, cfg.ZipfS, cfg.IncrementalFraction, cfg.AnytimeFraction,
 		cfg.AnytimeTimeout, cfg.Alpha, cfg.Eps, cfg.Seeds, cfg.MaxInFlight)
+	if len(cfg.Targets) > 1 {
+		// Fleet size changes what is measured (N queues, N result
+		// caches), so multi-target runs only gate against runs of the
+		// same width. Single-target signatures are unchanged — which
+		// target URLs were used is operational, not workload.
+		sig += fmt.Sprintf(",targets=%d", len(cfg.Targets))
+	}
+	return sig
 }
 
 // target is one uploaded graph the generator can aim jobs at.
@@ -206,13 +232,16 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	start := time.Now()
 	timer := time.NewTimer(0)
 	defer timer.Stop()
-	for _, at := range schedule {
+	for i, at := range schedule {
 		// The draws happen in arrival order on this goroutine, so the
 		// (class, graph, seed) sequence is a pure function of the seed no
-		// matter how the server behaves.
+		// matter how the server behaves. Targets round-robin by arrival
+		// index — also position-determined, so per-target rows compare
+		// across runs.
 		class := drawClass(classSrc, &cfg)
 		tgt := targets[zipf.Draw(graphSrc)]
 		optSeed := seedPool[seedSrc.Intn(len(seedPool))]
+		base := cfg.Targets[i%len(cfg.Targets)]
 
 		if d := time.Until(start.Add(at)); d > 0 {
 			timer.Reset(d)
@@ -226,13 +255,16 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 		case sem <- struct{}{}:
 		default:
 			rep.Class(class).Dropped.Add(1)
+			if len(cfg.Targets) > 1 {
+				rep.Target(base).Dropped.Add(1)
+			}
 			continue
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			fire(runCtx, &cfg, rep, class, tgt, optSeed)
+			fire(runCtx, &cfg, rep, class, base, tgt, optSeed)
 		}()
 	}
 
@@ -265,11 +297,17 @@ func drawClass(src *rng.Source, cfg *Config) string {
 	}
 }
 
-// fire submits one job and follows it to a terminal state, recording
-// the outcome under class.
-func fire(ctx context.Context, cfg *Config, rep *Reporter, class string, tgt target, optSeed uint64) {
-	counters := rep.Class(class)
-	counters.Submitted.Add(1)
+// fire submits one job to base and follows it to a terminal state,
+// recording the outcome under class — and, in multi-target runs, under
+// the target it was fired at (cs holds one Counters per dimension).
+func fire(ctx context.Context, cfg *Config, rep *Reporter, class, base string, tgt target, optSeed uint64) {
+	cs := []*Counters{rep.Class(class)}
+	if len(cfg.Targets) > 1 {
+		cs = append(cs, rep.Target(base))
+	}
+	for _, c := range cs {
+		c.Submitted.Add(1)
+	}
 
 	spec := jobSpec{
 		GraphID:   tgt.id,
@@ -286,27 +324,38 @@ func fire(ctx context.Context, cfg *Config, rep *Reporter, class string, tgt tar
 	}
 
 	started := time.Now()
-	snap, status, err := postJob(ctx, cfg, spec)
+	snap, status, err := postJob(ctx, cfg, base, spec)
 	switch {
 	case err != nil:
-		counters.Errors.Add(1)
+		for _, c := range cs {
+			c.Errors.Add(1)
+		}
 		return
 	case status == http.StatusServiceUnavailable:
-		counters.Backpressure.Add(1)
+		for _, c := range cs {
+			c.Backpressure.Add(1)
+		}
 		return
 	case status != http.StatusOK && status != http.StatusAccepted:
-		counters.Errors.Add(1)
+		for _, c := range cs {
+			c.Errors.Add(1)
+		}
 		return
 	}
 	for !snap.terminal() {
-		next, err := pollJob(ctx, cfg, snap.ID)
+		// Poll the node that accepted the job: job IDs are node-local.
+		next, err := pollJob(ctx, cfg, base, snap.ID)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Drain cutoff or caller cancel: the client gave up on the
 				// job, which is abandonment, not a server malfunction.
-				counters.Canceled.Add(1)
+				for _, c := range cs {
+					c.Canceled.Add(1)
+				}
 			} else {
-				counters.Errors.Add(1)
+				for _, c := range cs {
+					c.Errors.Add(1)
+				}
 			}
 			return
 		}
@@ -314,27 +363,37 @@ func fire(ctx context.Context, cfg *Config, rep *Reporter, class string, tgt tar
 	}
 	switch snap.State {
 	case "done":
-		counters.Completed.Add(1)
-		if snap.Cached {
-			counters.CacheHits.Add(1)
+		for _, c := range cs {
+			c.Completed.Add(1)
+			if snap.Cached {
+				c.CacheHits.Add(1)
+			}
+			if snap.Result != nil && snap.Result.Anytime != nil && snap.Result.Anytime.Partial {
+				c.Partials.Add(1)
+			}
 		}
-		if snap.Result != nil && snap.Result.Anytime != nil && snap.Result.Anytime.Partial {
-			counters.Partials.Add(1)
+		d := time.Since(started)
+		rep.Observe(class, d)
+		if len(cfg.Targets) > 1 {
+			rep.ObserveTarget(base, d)
 		}
-		rep.Observe(class, time.Since(started))
 	case "canceled":
-		counters.Canceled.Add(1)
+		for _, c := range cs {
+			c.Canceled.Add(1)
+		}
 	default:
-		counters.Errors.Add(1)
+		for _, c := range cs {
+			c.Errors.Add(1)
+		}
 	}
 }
 
-func postJob(ctx context.Context, cfg *Config, spec jobSpec) (*jobSnapshot, int, error) {
+func postJob(ctx context.Context, cfg *Config, base string, spec jobSpec) (*jobSnapshot, int, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/jobs", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -354,8 +413,8 @@ func postJob(ctx context.Context, cfg *Config, spec jobSpec) (*jobSnapshot, int,
 	return &snap, resp.StatusCode, nil
 }
 
-func pollJob(ctx context.Context, cfg *Config, id string) (*jobSnapshot, error) {
-	url := fmt.Sprintf("%s/jobs/%s?wait=%s", cfg.BaseURL, id, cfg.PollWait)
+func pollJob(ctx context.Context, cfg *Config, base, id string) (*jobSnapshot, error) {
+	url := fmt.Sprintf("%s/jobs/%s?wait=%s", base, id, cfg.PollWait)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
@@ -377,7 +436,11 @@ func pollJob(ctx context.Context, cfg *Config, id string) (*jobSnapshot, error) 
 
 // setup generates and uploads the target graphs. Sizes run from
 // MaxVertices (rank 0, the Zipf-hottest) down to MinVertices; each
-// parent also gets one mutated child for the incremental class.
+// parent also gets one mutated child for the incremental class. Every
+// graph and child goes to every target — content addressing makes the
+// IDs identical everywhere — so a multi-target run works against plain
+// independent servers as well as a cluster-mode fleet, and measures
+// steady-state serving rather than first-touch graph transfer.
 func setup(ctx context.Context, cfg *Config) ([]target, error) {
 	targets := make([]target, cfg.Graphs)
 	for i := range targets {
@@ -386,13 +449,21 @@ func setup(ctx context.Context, cfg *Config) ([]target, error) {
 			n = cfg.MaxVertices - (cfg.MaxVertices-cfg.MinVertices)*i/(cfg.Graphs-1)
 		}
 		g := gen.ForestUnion(n, cfg.Forests, cfg.Seed+uint64(i)*7919)
-		id, err := uploadGraph(ctx, cfg, g)
-		if err != nil {
-			return nil, fmt.Errorf("load: upload graph %d: %w", i, err)
-		}
-		childID, err := mutateGraph(ctx, cfg, id, n)
-		if err != nil {
-			return nil, fmt.Errorf("load: derive child of graph %d: %w", i, err)
+		var id, childID string
+		for _, base := range cfg.Targets {
+			gid, err := uploadGraph(ctx, cfg, base, g)
+			if err != nil {
+				return nil, fmt.Errorf("load: upload graph %d to %s: %w", i, base, err)
+			}
+			cid, err := mutateGraph(ctx, cfg, base, gid, n)
+			if err != nil {
+				return nil, fmt.Errorf("load: derive child of graph %d on %s: %w", i, base, err)
+			}
+			if id == "" {
+				id, childID = gid, cid
+			} else if gid != id || cid != childID {
+				return nil, fmt.Errorf("load: graph %d IDs disagree across targets: %s vs %s", i, short(id), short(gid))
+			}
 		}
 		targets[i] = target{id: id, childID: childID, n: n, m: g.M()}
 		cfg.Logf("nwload: graph %d: n=%d m=%d id=%s child=%s", i, g.N(), g.M(), short(id), short(childID))
@@ -400,12 +471,12 @@ func setup(ctx context.Context, cfg *Config) ([]target, error) {
 	return targets, nil
 }
 
-func uploadGraph(ctx context.Context, cfg *Config, g *graph.Graph) (string, error) {
+func uploadGraph(ctx context.Context, cfg *Config, base string, g *graph.Graph) (string, error) {
 	var buf bytes.Buffer
 	if err := graph.Encode(&buf, g); err != nil {
 		return "", err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/graphs", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/graphs", &buf)
 	if err != nil {
 		return "", err
 	}
@@ -416,7 +487,7 @@ func uploadGraph(ctx context.Context, cfg *Config, g *graph.Graph) (string, erro
 // mutateGraph derives the incremental child: a short path of inserted
 // edges (a forest, so it raises the arboricity bound by at most one —
 // covered by the Alpha default of Forests+1).
-func mutateGraph(ctx context.Context, cfg *Config, parentID string, n int) (string, error) {
+func mutateGraph(ctx context.Context, cfg *Config, base, parentID string, n int) (string, error) {
 	insert := make([][2]int32, 0, 4)
 	for v := 0; v+1 < n && len(insert) < 4; v++ {
 		insert = append(insert, [2]int32{int32(v), int32(v + 1)})
@@ -425,7 +496,7 @@ func mutateGraph(ctx context.Context, cfg *Config, parentID string, n int) (stri
 	if err != nil {
 		return "", err
 	}
-	url := cfg.BaseURL + "/graphs/" + parentID + "/edges"
+	url := base + "/graphs/" + parentID + "/edges"
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return "", err

@@ -48,11 +48,13 @@ type Counters struct {
 }
 
 // Reporter aggregates outcomes from concurrent workers: one Counters
-// and one latency Histogram per traffic class. The zero value is not
-// ready; use NewReporter.
+// and one latency Histogram per traffic class, plus an independent
+// per-target dimension for multi-target (fleet) runs. The zero value is
+// not ready; use NewReporter.
 type Reporter struct {
 	mu      sync.Mutex
 	classes map[string]*classAgg
+	targets map[string]*classAgg
 }
 
 type classAgg struct {
@@ -62,8 +64,10 @@ type classAgg struct {
 
 // NewReporter returns a Reporter with the three standard classes
 // pre-registered (so reports always list them, even at zero traffic).
+// Targets register lazily: single-target runs record none and their
+// reports stay byte-identical to the pre-fleet format.
 func NewReporter() *Reporter {
-	r := &Reporter{classes: make(map[string]*classAgg)}
+	r := &Reporter{classes: make(map[string]*classAgg), targets: make(map[string]*classAgg)}
 	for _, c := range []string{ClassFull, ClassIncremental, ClassAnytime} {
 		r.classes[c] = &classAgg{}
 	}
@@ -73,22 +77,34 @@ func NewReporter() *Reporter {
 // Class returns the aggregate for the named class, creating it if
 // needed. The returned Counters may be updated from any goroutine.
 func (r *Reporter) Class(name string) *Counters {
-	return &r.agg(name).Counters
+	return &r.agg(r.classes, name).Counters
+}
+
+// Target returns the aggregate for one fleet target (base URL); the
+// per-target error/latency breakdown of multi-target runs.
+func (r *Reporter) Target(name string) *Counters {
+	return &r.agg(r.targets, name).Counters
 }
 
 // Observe records one completed job's submit-to-terminal latency under
 // the named class.
 func (r *Reporter) Observe(name string, d time.Duration) {
-	r.agg(name).hist.Observe(d)
+	r.agg(r.classes, name).hist.Observe(d)
 }
 
-func (r *Reporter) agg(name string) *classAgg {
+// ObserveTarget records one completed job's latency under the target
+// that served it.
+func (r *Reporter) ObserveTarget(name string, d time.Duration) {
+	r.agg(r.targets, name).hist.Observe(d)
+}
+
+func (r *Reporter) agg(m map[string]*classAgg, name string) *classAgg {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	a := r.classes[name]
+	a := m[name]
 	if a == nil {
 		a = &classAgg{}
-		r.classes[name] = a
+		m[name] = a
 	}
 	return a
 }
@@ -141,7 +157,11 @@ type Report struct {
 	Workload    string        `json:"workload"`
 	DurationSec float64       `json:"durationSec"`
 	Classes     []ClassReport `json:"classes"`
-	Totals      ClassReport   `json:"totals"`
+	// Targets is the per-target breakdown of a multi-target (fleet) run:
+	// one row per base URL, Class carrying the URL. Absent in
+	// single-target runs, whose reports keep the pre-fleet shape.
+	Targets []ClassReport `json:"targets,omitempty"`
+	Totals  ClassReport   `json:"totals"`
 	// Goodput is completed jobs per second of configured duration —
 	// cache hits and partials count (they are answers), canceled,
 	// errored, shed and dropped jobs do not.
@@ -162,6 +182,15 @@ func (r *Reporter) Snapshot(workload string, duration time.Duration) *Report {
 	for i, name := range names {
 		aggs[i] = r.classes[name]
 	}
+	tnames := make([]string, 0, len(r.targets))
+	for name := range r.targets {
+		tnames = append(tnames, name)
+	}
+	sort.Strings(tnames)
+	taggs := make([]*classAgg, len(tnames))
+	for i, name := range tnames {
+		taggs[i] = r.targets[name]
+	}
 	r.mu.Unlock()
 
 	rep := &Report{
@@ -173,18 +202,7 @@ func (r *Reporter) Snapshot(workload string, duration time.Duration) *Report {
 	var totalHist Histogram
 	totals := ClassReport{Class: "totals"}
 	for i, a := range aggs {
-		cr := ClassReport{
-			Class:        names[i],
-			Submitted:    a.Submitted.Load(),
-			Completed:    a.Completed.Load(),
-			CacheHits:    a.CacheHits.Load(),
-			Partials:     a.Partials.Load(),
-			Backpressure: a.Backpressure.Load(),
-			Canceled:     a.Canceled.Load(),
-			Errors:       a.Errors.Load(),
-			Dropped:      a.Dropped.Load(),
-			Latency:      quantilesOf(&a.hist),
-		}
+		cr := classReportOf(names[i], a)
 		rep.Classes = append(rep.Classes, cr)
 		totals.Submitted += cr.Submitted
 		totals.Completed += cr.Completed
@@ -196,12 +214,33 @@ func (r *Reporter) Snapshot(workload string, duration time.Duration) *Report {
 		totals.Dropped += cr.Dropped
 		totalHist.merge(&a.hist)
 	}
+	// Targets are a second projection of the same jobs, so they are not
+	// folded into totals (that would double-count).
+	for i, a := range taggs {
+		rep.Targets = append(rep.Targets, classReportOf(tnames[i], a))
+	}
 	totals.Latency = quantilesOf(&totalHist)
 	rep.Totals = totals
 	if duration > 0 {
 		rep.Goodput = float64(totals.Completed) / duration.Seconds()
 	}
 	return rep
+}
+
+// classReportOf renders one aggregate's counters and latency summary.
+func classReportOf(name string, a *classAgg) ClassReport {
+	return ClassReport{
+		Class:        name,
+		Submitted:    a.Submitted.Load(),
+		Completed:    a.Completed.Load(),
+		CacheHits:    a.CacheHits.Load(),
+		Partials:     a.Partials.Load(),
+		Backpressure: a.Backpressure.Load(),
+		Canceled:     a.Canceled.Load(),
+		Errors:       a.Errors.Load(),
+		Dropped:      a.Dropped.Load(),
+		Latency:      quantilesOf(&a.hist),
+	}
 }
 
 // WriteText renders the report as a human-readable table.
@@ -215,5 +254,12 @@ func (rep *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%-12s %9d %9d %6d %8d %7d %8d %6d %7d %10.2f %10.2f %10.2f\n",
 			c.Class, c.Submitted, c.Completed, c.CacheHits, c.Partials, c.Backpressure,
 			c.Canceled, c.Errors, c.Dropped, c.Latency.P50, c.Latency.P99, c.Latency.P999)
+	}
+	if len(rep.Targets) > 0 {
+		fmt.Fprintf(w, "per target:\n")
+		for _, c := range rep.Targets {
+			fmt.Fprintf(w, "%-28s %9d submitted %9d completed %6d errors %10.2f p50(ms) %10.2f p99(ms)\n",
+				c.Class, c.Submitted, c.Completed, c.Errors, c.Latency.P50, c.Latency.P99)
+		}
 	}
 }

@@ -72,7 +72,18 @@ const maxUploadBytes = 256 << 20
 //	GET    /metrics         the same counters (plus latency and per-phase
 //	                        histograms) in Prometheus text format, derived
 //	                        from the same snapshot /stats serializes
-//	GET    /healthz         liveness
+//	GET    /healthz         liveness (200 even while draining)
+//	GET    /readyz          drain-aware readiness: 503 once StartDrain
+//	                        has been called, so load balancers and peers
+//	                        route around a node that is shutting down
+//	GET    /cluster/stats   fleet-wide stats view assembled from gossip
+//	                        (cluster mode only; 404 otherwise)
+//	/peer/...               the internal node-to-node protocol (cluster
+//	                        mode only): health ping, gossip exchange,
+//	                        graph replication and fill, result-cache
+//	                        fill, and forwarded job computation. These
+//	                        routes assume a trusted network — see
+//	                        registerPeerRoutes
 //
 // When svc was configured with a Logger, every completed request is
 // logged through it.
@@ -132,9 +143,13 @@ func NewHTTPHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
 	mux.Handle("GET /metrics", svc.MetricsHandler())
+	// /healthz is pure liveness — "the process is up and serving" — and
+	// deliberately stays 200 during a drain; /readyz (cluster.go) is the
+	// drain-aware readiness signal.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	registerPeerRoutes(svc, mux)
 	return telemetry.LogRequests(svc.logger, mux)
 }
 
@@ -224,7 +239,10 @@ func handleAddGraph(svc *Service, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("empty graph upload"))
 			return
 		}
-		info, err = svc.Store().AddBytes(data, format)
+		// The cluster-aware ingest: stored locally, then replicated to the
+		// ring owner (a no-op in single-node mode). The returned ID is the
+		// content address either way — upload anywhere, same ID.
+		info, err = svc.IngestBytes(data, format)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -249,7 +267,7 @@ func handleMutateGraph(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty mutation: need \"insert\" and/or \"delete\""))
 		return
 	}
-	info, err := svc.Store().Mutate(r.PathValue("id"), mut)
+	info, err := svc.MutateGraph(r.PathValue("id"), mut)
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		// Mutate's own lookup decides existence, so an eviction between a

@@ -143,8 +143,11 @@ type Job struct {
 	state    JobState
 	cached   bool
 	follower bool // attached to an in-flight leader; set before registration
-	result   *JobResult
-	errMsg   string
+	// localOnly pins execution to this node: set for peer-forwarded jobs
+	// (SubmitLocal), which must never consult or forward to peers again.
+	localOnly bool
+	result    *JobResult
+	errMsg    string
 
 	created  time.Time
 	started  time.Time

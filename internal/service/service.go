@@ -33,6 +33,7 @@ import (
 
 	"nwforest"
 	"nwforest/internal/algo"
+	"nwforest/internal/cluster"
 	"nwforest/internal/dist"
 	"nwforest/internal/dynamic"
 	"nwforest/internal/graph"
@@ -263,6 +264,14 @@ type Service struct {
 	// execHook replaces algorithm execution in tests (e.g. to block until
 	// cancellation); nil in production.
 	execHook func(ctx context.Context, g *graph.Graph, spec JobSpec) (*JobResult, error)
+
+	// cluster joins this node to a fleet (AttachCluster); nil in
+	// single-node mode, which keeps every request path exactly as
+	// before. draining flips /readyz (and the peer ping) to 503 ahead
+	// of shutdown; peerCtr tracks the peer protocol's activity.
+	cluster  *cluster.Cluster
+	draining atomic.Bool
+	peerCtr  peerCounters
 }
 
 // New starts a Service with cfg's worker pool running. It panics if cfg
@@ -514,13 +523,29 @@ func (s *Service) ResolveIngestPath(p string) (string, error) {
 // Submit validates spec, consults the result cache, and either returns a
 // job that is already done (cache hit — no recomputation, no queue slot)
 // or enqueues the work. It fails fast on unknown graphs and algorithms
-// and returns ErrQueueFull when the queue is at capacity.
+// and returns ErrQueueFull when the queue is at capacity. In cluster
+// mode an unknown graph is first looked for on peers (read-through
+// graph fill), and eligible jobs may be answered from or computed on
+// their ring owner at execution time.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.submit(spec, false)
+}
+
+// SubmitLocal is Submit for peer-forwarded jobs: the job is pinned to
+// this node — it never consults peer caches or forwards again, so a
+// forwarded job takes exactly one hop before being computed.
+func (s *Service) SubmitLocal(spec JobSpec) (*Job, error) {
+	return s.submit(spec, true)
+}
+
+func (s *Service) submit(spec JobSpec, localOnly bool) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	if _, ok := s.store.Info(spec.GraphID); !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, spec.GraphID)
+		if !s.ensureGraph(spec.GraphID) {
+			return nil, fmt.Errorf("%w %q", ErrUnknownGraph, spec.GraphID)
+		}
 	}
 
 	now := time.Now()
@@ -536,13 +561,14 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	j := &Job{
-		spec:    spec,
-		state:   JobQueued,
-		created: now,
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		hub:     newEventHub(),
+		spec:      spec,
+		state:     JobQueued,
+		created:   now,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		hub:       newEventHub(),
+		localOnly: localOnly,
 	}
 	j.hub.publish(JobEvent{Type: "state", State: JobQueued})
 
@@ -780,7 +806,7 @@ func (s *Service) runJob(j *Job) {
 				ch <- outcome{nil, fmt.Errorf("service: algorithm panicked: %v", r)}
 			}
 		}()
-		res, err := s.execute(execCtx, j.spec, j.hub)
+		res, err := s.execute(execCtx, j)
 		ch <- outcome{res, err}
 	}()
 	finished := false
@@ -1023,13 +1049,29 @@ func (s *Service) History(state JobState, algorithm string, limit int) []JobReco
 // verifying decompositions before returning them. hub (may be nil in
 // direct calls) receives incremental repair summaries; phase/round
 // progress arrives through the dist.Progress hook already on ctx.
-func (s *Service) execute(ctx context.Context, spec JobSpec, hub *eventHub) (*JobResult, error) {
+func (s *Service) execute(ctx context.Context, j *Job) (*JobResult, error) {
+	spec, hub := j.spec, j.hub
 	g, err := s.store.Get(spec.GraphID)
 	if err != nil {
 		return nil, err
 	}
 	if s.execHook != nil {
 		return s.execHook(ctx, g, spec)
+	}
+	if s.cluster != nil && !j.localOnly && spec.peerEligible() {
+		// Cluster path: answer from the routing target's cache or compute
+		// there; handled=false degrades to the local compute below (a
+		// bit-identical result by the golden cache-key contract). A
+		// fallback compute of a graph routed elsewhere is offered back to
+		// the target so the fleet converges to "hit everywhere".
+		if res, err, handled := s.peerExecute(ctx, j); handled {
+			return res, err
+		}
+		res, err := runSpec(ctx, g, spec)
+		if err == nil {
+			s.pushResultToTarget(spec, res)
+		}
+		return res, err
 	}
 	if spec.effectiveMode() == ModeIncremental {
 		if res, ok := s.tryIncremental(ctx, g, spec, hub); ok {
@@ -1189,6 +1231,11 @@ type Stats struct {
 	// Open reconstructed from disk; both are nil when persistence is off.
 	Persist  *persist.Stats `json:"persist,omitempty"`
 	Recovery *RecoveryInfo  `json:"recovery,omitempty"`
+	// Node identifies this node in the fleet and Peer counts the peer
+	// protocol's activity; both are nil in single-node mode, keeping the
+	// document byte-identical to pre-cluster responses.
+	Node *cluster.NodeInfo `json:"node,omitempty"`
+	Peer *PeerStats        `json:"peer,omitempty"`
 }
 
 // AnytimeStats counts the anytime serving path.
@@ -1227,6 +1274,12 @@ func (s *Service) Stats() Stats {
 		rec := s.recovery
 		st.Persist = &ps
 		st.Recovery = &rec
+	}
+	if s.cluster != nil {
+		ni := s.cluster.NodeInfo()
+		ps := s.peerStats()
+		st.Node = &ni
+		st.Peer = &ps
 	}
 	return st
 }

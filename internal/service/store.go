@@ -481,6 +481,33 @@ func (s *Store) Get(id string) (*graph.Graph, error) {
 	return g, nil
 }
 
+// SourceData returns a stored graph's raw bytes and concrete format —
+// the pair that reproduces its content-addressed ID on any node, which
+// is what the peer replication and graph-fill protocol transfers.
+// File-backed sources are re-read and hash-verified like a cold Get.
+func (s *Store) SourceData(id string) ([]byte, graph.Format, error) {
+	s.mu.Lock()
+	src, ok := s.sources[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, "", fmt.Errorf("%w %q", ErrUnknownGraph, id)
+	}
+	data := src.data
+	path := src.path
+	format := graph.Format(src.info.Format)
+	s.mu.Unlock()
+	if path != "" {
+		var err error
+		if data, err = os.ReadFile(path); err != nil {
+			return nil, "", fmt.Errorf("service: re-reading %s: %w", path, err)
+		}
+		if got := hashID(format, data); got != id {
+			return nil, "", fmt.Errorf("service: %s changed on disk (now %s, stored as %s)", path, got, id)
+		}
+	}
+	return data, format, nil
+}
+
 // List returns the metadata of every stored graph, sorted by ID.
 func (s *Store) List() []GraphInfo {
 	s.mu.Lock()
